@@ -1,0 +1,194 @@
+package faaskeeper
+
+// One benchmark per table and figure of the paper's evaluation: each runs
+// the corresponding experiment end to end inside the simulator (quick
+// repetition counts) and reports wall-clock cost plus, where meaningful,
+// the key simulated metric as a custom unit. Run a single one with e.g.
+//
+//	go test -bench BenchmarkFig9WriteLatency -benchmem
+//
+// and regenerate the full paper-style tables with cmd/fkrepro.
+import (
+	"testing"
+	"time"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/core"
+	"faaskeeper/internal/experiments"
+	"faaskeeper/internal/fkclient"
+	"faaskeeper/internal/sim"
+	"faaskeeper/internal/znode"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := e.Run(experiments.RunConfig{Seed: int64(i + 1), Quick: true})
+		if len(rep.Sections) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// Table 1 and Table 4 (static/analytic).
+func BenchmarkTab1FeatureMatrix(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkTab4CostModel(b *testing.B)     { benchExperiment(b, "tab4") }
+
+// Figure 4: storage cost and latency.
+func BenchmarkFig4aStorageCost(b *testing.B)    { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bStorageLatency(b *testing.B) { benchExperiment(b, "fig4b") }
+
+// Figure 5: ZooKeeper utilization under HBase/YCSB.
+func BenchmarkFig5ZKUtilization(b *testing.B) { benchExperiment(b, "fig5") }
+
+// Table 6a / Figure 6b: synchronization primitives.
+func BenchmarkTab6aSyncPrimitives(b *testing.B) { benchExperiment(b, "tab6a") }
+func BenchmarkFig6bLockThroughput(b *testing.B) { benchExperiment(b, "fig6b") }
+
+// Figure 7: serverless queues.
+func BenchmarkFig7aQueueLatency(b *testing.B)    { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bQueueThroughput(b *testing.B) { benchExperiment(b, "fig7b") }
+func BenchmarkFig7cQueueLatencyGCP(b *testing.B) { benchExperiment(b, "fig7c") }
+
+// Figures 8-12 / Table 3: FaaSKeeper vs ZooKeeper data paths.
+func BenchmarkFig8ReadLatency(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig9WriteLatency(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10TimeDistribution(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkTab3Variability(b *testing.B)       { benchExperiment(b, "tab3") }
+func BenchmarkFig11HybridWrites(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12GCPWrites(b *testing.B)        { benchExperiment(b, "fig12") }
+
+// Figure 13: heartbeat monitoring.
+func BenchmarkFig13Heartbeat(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Figure 14: the cost-ratio grids.
+func BenchmarkFig14CostRatio(b *testing.B) { benchExperiment(b, "fig14") }
+
+// Section 5.3.2 resource-configuration ablations.
+func BenchmarkSec532xResourceConfig(b *testing.B) { benchExperiment(b, "sec532x") }
+
+// Section 6 requirement ablations (R1/R4, R6, R8).
+func BenchmarkAblationsRequirements(b *testing.B) { benchExperiment(b, "ablations") }
+
+// --- micro-benchmarks of the implementation itself (real time) ---
+
+// BenchmarkSimKernelEvents measures raw simulator event throughput.
+func BenchmarkSimKernelEvents(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel(1)
+	k.Go("ticker", func() {
+		for {
+			k.Sleep(time.Millisecond)
+		}
+	})
+	b.ResetTimer()
+	k.RunFor(time.Duration(b.N) * time.Millisecond)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkZNodeCodec measures the node serialization hot path.
+func BenchmarkZNodeCodec(b *testing.B) {
+	n := &znode.Node{
+		Path:     "/services/api/config",
+		Data:     make([]byte, 1024),
+		Stat:     znode.Stat{Czxid: 10, Mzxid: 99, Version: 3},
+		Children: []string{"a", "b", "c", "d"},
+	}
+	epoch := []int64{1, 2, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := znode.Marshal(n, epoch)
+		if _, _, err := znode.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKVConditionalUpdate measures the system store's core operation.
+func BenchmarkKVConditionalUpdate(b *testing.B) {
+	k := sim.NewKernel(1)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	tbl := kv.NewTable(env, "bench")
+	ctx := cloud.ClientCtx(cloud.RegionAWSHome)
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Go("bench", func() {
+		for i := 0; i < b.N; i++ {
+			_, err := tbl.Update(ctx, "n",
+				[]kv.Update{kv.Set{Name: "lock", V: kv.N(int64(i))}},
+				kv.Or{kv.AttrNotExists{Name: "nope"}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	k.Run()
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkFKWritePath measures full simulated set_data round trips per
+// wall-clock second (client -> queue -> follower -> leader -> store ->
+// notification), reporting the virtual-vs-real time ratio.
+func BenchmarkFKWritePath(b *testing.B) {
+	k := sim.NewKernel(1)
+	d := core.NewDeployment(k, core.Config{})
+	b.ReportAllocs()
+	var virtual time.Duration
+	k.Go("bench", func() {
+		c, err := fkclient.Connect(d, "bench", d.Cfg.Profile.Home)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Create("/bench", nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		payload := make([]byte, 1024)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.SetData("/bench", payload, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		virtual = k.Now()
+	})
+	k.Run()
+	k.Shutdown()
+	b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/op")
+}
+
+// BenchmarkFKReadPath measures simulated get_data round trips.
+func BenchmarkFKReadPath(b *testing.B) {
+	k := sim.NewKernel(1)
+	d := core.NewDeployment(k, core.Config{UserStore: core.StoreHybrid})
+	b.ReportAllocs()
+	k.Go("bench", func() {
+		c, err := fkclient.Connect(d, "bench", d.Cfg.Profile.Home)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Create("/bench", make([]byte, 1024), 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.GetData("/bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	k.Run()
+	b.StopTimer()
+	k.Shutdown()
+}

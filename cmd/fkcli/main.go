@@ -1,0 +1,153 @@
+// Command fkcli drives a simulated FaaSKeeper deployment through a script
+// of commands, printing each result — a small smoke-test shell for the
+// public API.
+//
+// Usage:
+//
+//	fkcli create /app hello
+//	fkcli create /app/cfg v1 : get /app/cfg : set /app/cfg v2 : get /app/cfg
+//	fkcli -gcp -store hybrid create /x data : ls /
+//
+// Commands (separated by ":"): create PATH [DATA] [eph] [seq],
+// get PATH, set PATH DATA, del PATH, ls PATH, stat PATH, watch PATH.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"faaskeeper"
+)
+
+func main() {
+	gcp := flag.Bool("gcp", false, "deploy the GCP profile")
+	store := flag.String("store", "object", "user store: object|kv|hybrid|mem")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Println("usage: fkcli [flags] CMD ARGS [: CMD ARGS]...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var cmds [][]string
+	var cur []string
+	for _, a := range args {
+		if a == ":" {
+			if len(cur) > 0 {
+				cmds = append(cmds, cur)
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, a)
+	}
+	if len(cur) > 0 {
+		cmds = append(cmds, cur)
+	}
+
+	s := faaskeeper.NewSimulation(*seed)
+	d := s.DeployFaaSKeeper(faaskeeper.DeploymentOptions{
+		GCP:       *gcp,
+		UserStore: faaskeeper.StoreKind(*store),
+	})
+	exit := 0
+	s.Go(func() {
+		c, err := d.Connect("fkcli")
+		if err != nil {
+			fmt.Println("connect:", err)
+			exit = 1
+			return
+		}
+		defer c.Close()
+		for _, cmd := range cmds {
+			if err := run(s, c, cmd); err != nil {
+				fmt.Printf("%s: %v\n", strings.Join(cmd, " "), err)
+				exit = 1
+			}
+		}
+		s.Sleep(2 * time.Second) // let late watch events print
+	})
+	s.Run()
+	s.Shutdown()
+	fmt.Printf("-- virtual time: %v, total cost: $%.6f --\n", s.Now(), d.TotalCost())
+	os.Exit(exit)
+}
+
+func run(s *faaskeeper.Simulation, c *faaskeeper.Client, cmd []string) error {
+	if len(cmd) < 2 {
+		return fmt.Errorf("need a path")
+	}
+	op, path := cmd[0], cmd[1]
+	switch op {
+	case "create":
+		data := ""
+		var flags faaskeeper.Flags
+		for _, a := range cmd[2:] {
+			switch a {
+			case "eph":
+				flags |= faaskeeper.FlagEphemeral
+			case "seq":
+				flags |= faaskeeper.FlagSequential
+			default:
+				data = a
+			}
+		}
+		name, err := c.Create(path, []byte(data), flags)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created %s\n", name)
+	case "get":
+		data, stat, err := c.GetData(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s = %q (version %d, mzxid %d)\n", path, data, stat.Version, stat.Mzxid)
+	case "set":
+		if len(cmd) < 3 {
+			return fmt.Errorf("set needs data")
+		}
+		stat, err := c.SetData(path, []byte(cmd[2]), -1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("set %s (version %d)\n", path, stat.Version)
+	case "del":
+		if err := c.Delete(path, -1); err != nil {
+			return err
+		}
+		fmt.Printf("deleted %s\n", path)
+	case "ls":
+		kids, err := c.GetChildren(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s children: %v\n", path, kids)
+	case "stat":
+		st, err := c.Exists(path)
+		if err != nil {
+			return err
+		}
+		if st == nil {
+			fmt.Printf("%s does not exist\n", path)
+		} else {
+			fmt.Printf("%s: %+v\n", path, *st)
+		}
+	case "watch":
+		_, _, err := c.GetDataW(path, func(n faaskeeper.Notification) {
+			fmt.Printf("watch fired: %s %s (txid %d)\n", n.Event, n.Path, n.Txid)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("watching %s\n", path)
+	default:
+		return fmt.Errorf("unknown command %q", op)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Command fkcost explores the FaaSKeeper vs ZooKeeper cost trade-off
+// analytically (the model behind Figure 14 and Section 5.3.4).
+//
+// Usage:
+//
+//	fkcost -requests 1000000 -reads 0.95 -size 1024 -hybrid
+//	fkcost -servers 9 -instance t3.large
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"faaskeeper/internal/costmodel"
+)
+
+func main() {
+	requests := flag.Float64("requests", 1_000_000, "requests per day")
+	reads := flag.Float64("reads", 0.95, "read fraction of the workload")
+	size := flag.Int("size", 1024, "operation payload bytes")
+	hybrid := flag.Bool("hybrid", false, "use hybrid (DynamoDB+S3) user storage")
+	memory := flag.Int("memory", 512, "function memory MB")
+	servers := flag.Int("servers", 3, "ZooKeeper ensemble size")
+	instance := flag.String("instance", "t3.small", "ZooKeeper VM instance type")
+	dataGB := flag.Float64("data", 1, "retained user data in GB")
+	flag.Parse()
+
+	m := costmodel.NewAWSModel(*memory)
+	z := costmodel.ZooKeeperDeployment{
+		P: m.P, Servers: *servers, InstanceType: *instance, DiskGB: 20,
+	}
+
+	fk := m.DailyCost(*requests, *reads, *size, *hybrid)
+	fkStorage := m.StorageDailyCost(*dataGB, *hybrid)
+	fmt.Printf("Workload: %.0f requests/day, %.0f%% reads, %d B payloads\n",
+		*requests, *reads*100, *size)
+	fmt.Printf("\nFaaSKeeper (hybrid=%v, %d MB functions)\n", *hybrid, *memory)
+	fmt.Printf("  per read:         $%.8f\n", m.ReadCost(*size, *hybrid))
+	fmt.Printf("  per write:        $%.8f\n", m.WriteCost(*size, *hybrid))
+	fmt.Printf("  traffic per day:  $%.4f\n", fk)
+	fmt.Printf("  storage per day:  $%.4f (%.1f GB)\n", fkStorage, *dataGB)
+	fmt.Printf("\nZooKeeper (%d x %s + 20 GB gp3 each)\n", *servers, *instance)
+	fmt.Printf("  VMs per day:      $%.4f\n", z.VMDailyCost())
+	fmt.Printf("  total per day:    $%.4f\n", z.TotalDailyCost())
+	fmt.Printf("\nCost ratio (ZooKeeper / FaaSKeeper): %.2fx\n",
+		m.CostRatio(z, *requests, *reads, *size, *hybrid))
+	fmt.Printf("Break-even volume: %.2fM requests/day\n",
+		m.BreakEvenRequests(z, *reads, *size, *hybrid)/1e6)
+}

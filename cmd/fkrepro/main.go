@@ -1,0 +1,64 @@
+// Command fkrepro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fkrepro -list              # show all experiments
+//	fkrepro -run fig9          # run one experiment (comma-separate for more)
+//	fkrepro -all               # run everything
+//	fkrepro -all -quick        # reduced repetition counts
+//	fkrepro -seed 7 -run tab3  # change the simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"faaskeeper/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	runIDs := flag.String("run", "", "comma-separated experiment ids to run")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "reduced repetition counts")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %-10s %s\n", e.ID, "("+e.Ref+")", e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	case *runIDs != "":
+		ids = strings.Split(*runIDs, ",")
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep := e.Run(cfg)
+		fmt.Println(rep.Render())
+		fmt.Printf("(%s completed in %.1fs wall-clock)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,433 @@
+package kv
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/sim"
+)
+
+func newEnv(seed int64) (*sim.Kernel, *cloud.Env, cloud.Ctx) {
+	k := sim.NewKernel(seed)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	return k, env, cloud.ClientCtx(cloud.RegionAWSHome)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	k.Go("client", func() {
+		if err := tbl.Put(ctx, "a", Item{"x": N(7), "s": S("hello")}, nil); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		it, ok := tbl.Get(ctx, "a", true)
+		if !ok || it["x"].Num != 7 || it["s"].Str != "hello" {
+			t.Errorf("get: %v %v", it, ok)
+		}
+		if _, ok := tbl.Get(ctx, "missing", true); ok {
+			t.Error("missing key found")
+		}
+	})
+	k.Run()
+	if env.Meter.Count("kv.write") != 1 || env.Meter.Count("kv.read") != 2 {
+		t.Fatalf("meter counts: %v", env.Meter)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	k.Go("client", func() {
+		tbl.Put(ctx, "a", Item{"b": B([]byte{1, 2})}, nil)
+		it, _ := tbl.Get(ctx, "a", true)
+		it["b"].Byt[0] = 99
+		it2, _ := tbl.Get(ctx, "a", true)
+		if it2["b"].Byt[0] != 1 {
+			t.Error("stored item was aliased by reader")
+		}
+	})
+	k.Run()
+}
+
+func TestConditionalPut(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	k.Go("client", func() {
+		if err := tbl.Put(ctx, "n", Item{"v": N(1)}, NotExists{}); err != nil {
+			t.Errorf("first put: %v", err)
+		}
+		err := tbl.Put(ctx, "n", Item{"v": N(2)}, NotExists{})
+		if !errors.Is(err, ErrConditionFailed) {
+			t.Errorf("second put err = %v", err)
+		}
+		it, _ := tbl.Get(ctx, "n", true)
+		if it["v"].Num != 1 {
+			t.Errorf("overwrite happened: %v", it)
+		}
+	})
+	k.Run()
+}
+
+func TestUpdateAtomicCounter(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	k.Go("client", func() {
+		for i := 0; i < 5; i++ {
+			if _, err := tbl.Update(ctx, "ctr", []Update{Add{"n", 2}}, nil); err != nil {
+				t.Errorf("update: %v", err)
+			}
+		}
+		it, _ := tbl.Get(ctx, "ctr", true)
+		if it["n"].Num != 10 {
+			t.Errorf("counter = %d", it["n"].Num)
+		}
+	})
+	k.Run()
+}
+
+func TestUpdateListOps(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	k.Go("client", func() {
+		tbl.Update(ctx, "l", []Update{ListAppend{"xs", []int64{1, 2, 3}}}, nil)
+		tbl.Update(ctx, "l", []Update{ListAppend{"xs", []int64{4}}}, nil)
+		tbl.Update(ctx, "l", []Update{ListRemove{"xs", []int64{2}}}, nil)
+		it, _ := tbl.Get(ctx, "l", true)
+		want := []int64{1, 3, 4}
+		got := it["xs"].NL
+		if len(got) != len(want) {
+			t.Fatalf("list = %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("list = %v", got)
+			}
+		}
+		tbl.Update(ctx, "l", []Update{ListPopHead{"xs"}}, nil)
+		it, _ = tbl.Get(ctx, "l", true)
+		if it["xs"].NL[0] != 3 {
+			t.Fatalf("after pop: %v", it["xs"].NL)
+		}
+	})
+	k.Run()
+}
+
+func TestStrListOps(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	k.Go("client", func() {
+		tbl.Update(ctx, "c", []Update{StrListAppend{"kids", []string{"a", "b"}}}, nil)
+		tbl.Update(ctx, "c", []Update{StrListRemove{"kids", []string{"a"}}}, nil)
+		it, _ := tbl.Get(ctx, "c", true)
+		if len(it["kids"].SL) != 1 || it["kids"].SL[0] != "b" {
+			t.Fatalf("kids = %v", it["kids"].SL)
+		}
+	})
+	k.Run()
+}
+
+func TestConditionalUpdateLockSemantics(t *testing.T) {
+	// Two writers race for a timed lock; exactly one must win.
+	k, env, ctx := newEnv(42)
+	tbl := NewTable(env, "state")
+	wins := 0
+	losses := 0
+	acquire := func(ts int64) {
+		cond := Or{AttrNotExists{"lock"}, NumLt{"lock", ts - 1000}}
+		_, err := tbl.Update(ctx, "node", []Update{Set{"lock", N(ts)}}, cond)
+		if err == nil {
+			wins++
+		} else if errors.Is(err, ErrConditionFailed) {
+			losses++
+		} else {
+			t.Errorf("unexpected: %v", err)
+		}
+	}
+	k.Go("w1", func() { acquire(10) })
+	k.Go("w2", func() { acquire(11) })
+	k.Run()
+	if wins != 1 || losses != 1 {
+		t.Fatalf("wins=%d losses=%d", wins, losses)
+	}
+}
+
+func TestDeleteWithCondition(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	k.Go("client", func() {
+		tbl.Put(ctx, "d", Item{"v": N(3)}, nil)
+		if err := tbl.Delete(ctx, "d", Eq{"v", N(4)}); !errors.Is(err, ErrConditionFailed) {
+			t.Errorf("mismatched delete: %v", err)
+		}
+		if err := tbl.Delete(ctx, "d", Eq{"v", N(3)}); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+		if _, ok := tbl.Get(ctx, "d", true); ok {
+			t.Error("still present")
+		}
+		if err := tbl.Delete(ctx, "d", nil); err != nil {
+			t.Errorf("idempotent delete: %v", err)
+		}
+	})
+	k.Run()
+}
+
+func TestItemSizeLimit(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	k.Go("client", func() {
+		big := make([]byte, 401*1024)
+		if err := tbl.Put(ctx, "big", Item{"d": B(big)}, nil); !errors.Is(err, ErrItemTooLarge) {
+			t.Errorf("put err = %v", err)
+		}
+		tbl.Put(ctx, "x", Item{"d": B(make([]byte, 399*1024))}, nil)
+		_, err := tbl.Update(ctx, "x", []Update{Set{"e", B(make([]byte, 2*1024))}}, nil)
+		if !errors.Is(err, ErrItemTooLarge) {
+			t.Errorf("update err = %v", err)
+		}
+	})
+	k.Run()
+}
+
+func TestEventualReadCanBeStale(t *testing.T) {
+	k, env, ctx := newEnv(7)
+	tbl := NewTable(env, "state")
+	stale, fresh := 0, 0
+	k.Go("client", func() {
+		tbl.Put(ctx, "v", Item{"n": N(1)}, nil)
+		k.Sleep(time.Second) // age the first version fully
+		for i := 0; i < 50; i++ {
+			tbl.Put(ctx, "v", Item{"n": N(2)}, nil)
+			it, _ := tbl.Get(ctx, "v", false)
+			if it["n"].Num == 1 {
+				stale++
+			} else {
+				fresh++
+			}
+			tbl.Put(ctx, "v", Item{"n": N(1)}, nil)
+			k.Sleep(100 * time.Millisecond)
+		}
+	})
+	k.Run()
+	if stale == 0 {
+		t.Fatal("eventually consistent reads never returned stale data")
+	}
+	if fresh == 0 {
+		t.Fatal("eventually consistent reads never caught up")
+	}
+	// Strongly consistent reads must never be stale.
+	k2, env2, ctx2 := newEnv(7)
+	tbl2 := NewTable(env2, "state")
+	k2.Go("client", func() {
+		for i := 0; i < 20; i++ {
+			tbl2.Put(ctx2, "v", Item{"n": N(int64(i))}, nil)
+			it, _ := tbl2.Get(ctx2, "v", true)
+			if it["n"].Num != int64(i) {
+				t.Errorf("strong read stale: %v", it)
+			}
+		}
+	})
+	k2.Run()
+}
+
+func TestTransactAllOrNothing(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	k.Go("client", func() {
+		tbl.Put(ctx, "a", Item{"v": N(1)}, nil)
+		err := tbl.Transact(ctx, []TxOp{
+			{Key: "a", Updates: []Update{Set{"v", N(2)}}, Cond: Eq{"v", N(1)}},
+			{Key: "b", Updates: []Update{Set{"v", N(9)}}, Cond: Exists{}}, // fails
+		})
+		if !errors.Is(err, ErrConditionFailed) {
+			t.Errorf("tx err = %v", err)
+		}
+		it, _ := tbl.Get(ctx, "a", true)
+		if it["v"].Num != 1 {
+			t.Errorf("partial tx applied: %v", it)
+		}
+		err = tbl.Transact(ctx, []TxOp{
+			{Key: "a", Updates: []Update{Set{"v", N(2)}}, Cond: Eq{"v", N(1)}},
+			{Key: "b", Updates: []Update{Set{"v", N(9)}}},
+		})
+		if err != nil {
+			t.Errorf("tx: %v", err)
+		}
+		ita, _ := tbl.Get(ctx, "a", true)
+		itb, _ := tbl.Get(ctx, "b", true)
+		if ita["v"].Num != 2 || itb["v"].Num != 9 {
+			t.Errorf("tx results: %v %v", ita, itb)
+		}
+		// Transactional delete leg.
+		err = tbl.Transact(ctx, []TxOp{{Key: "b", Delete: true, Cond: Exists{}}})
+		if err != nil {
+			t.Errorf("tx delete: %v", err)
+		}
+		if _, ok := tbl.Get(ctx, "b", true); ok {
+			t.Error("b survived tx delete")
+		}
+	})
+	k.Run()
+}
+
+func TestScanOrderAndBilling(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "sessions")
+	k.Go("client", func() {
+		tbl.Put(ctx, "c", Item{"v": N(3)}, nil)
+		tbl.Put(ctx, "a", Item{"v": N(1)}, nil)
+		tbl.Put(ctx, "b", Item{"v": N(2)}, nil)
+		got := tbl.Scan(ctx)
+		if len(got) != 3 || got[0].Key != "a" || got[1].Key != "b" || got[2].Key != "c" {
+			t.Errorf("scan = %v", got)
+		}
+	})
+	k.Run()
+	if env.Meter.Count("kv.read") != 1 {
+		t.Fatalf("scan should bill one read batch: %v", env.Meter)
+	}
+}
+
+func TestStreamEmitsCommittedWrites(t *testing.T) {
+	k, env, ctx := newEnv(1)
+	tbl := NewTable(env, "state")
+	s := tbl.EnableStream()
+	var recs []StreamRecord
+	k.Go("consumer", func() {
+		for {
+			r, ok := s.Records.Pop()
+			if !ok {
+				return
+			}
+			recs = append(recs, r)
+		}
+	})
+	k.Go("writer", func() {
+		tbl.Put(ctx, "a", Item{"v": N(1)}, nil)
+		tbl.Put(ctx, "a", Item{"v": N(2)}, NotExists{}) // fails: no record
+		tbl.Update(ctx, "a", []Update{Add{"v", 1}}, nil)
+		tbl.Delete(ctx, "a", nil)
+		s.Records.Close()
+	})
+	k.Run()
+	if len(recs) != 3 {
+		t.Fatalf("records = %v", recs)
+	}
+	if recs[0].SeqNo >= recs[1].SeqNo || recs[1].SeqNo >= recs[2].SeqNo {
+		t.Fatal("stream sequence numbers not increasing")
+	}
+	if recs[2].Item != nil {
+		t.Fatal("delete record should have nil item")
+	}
+}
+
+func TestLatencyGrowsWithItemSize(t *testing.T) {
+	// Table 6a: updating a 64 kB item is far slower than a 1 kB item even
+	// when the change is 8 bytes.
+	k, env, ctx := newEnv(3)
+	tbl := NewTable(env, "state")
+	var small, large sim.Time
+	k.Go("client", func() {
+		tbl.Put(ctx, "s", Item{"d": B(make([]byte, 1024))}, nil)
+		tbl.Put(ctx, "l", Item{"d": B(make([]byte, 64*1024))}, nil)
+		t0 := k.Now()
+		for i := 0; i < 20; i++ {
+			tbl.Update(ctx, "s", []Update{Set{"lock", N(1)}}, AttrNotExists{"nope"})
+		}
+		small = k.Now() - t0
+		t0 = k.Now()
+		for i := 0; i < 20; i++ {
+			tbl.Update(ctx, "l", []Update{Set{"lock", N(1)}}, AttrNotExists{"nope"})
+		}
+		large = k.Now() - t0
+	})
+	k.Run()
+	if float64(large) < 5*float64(small) {
+		t.Fatalf("large-item updates too fast: small=%v large=%v", small, large)
+	}
+}
+
+func TestValueCloneIndependence(t *testing.T) {
+	f := func(ns []int64, ss []string, bs []byte) bool {
+		v1 := NumList(ns...).Clone()
+		v2 := StrList(ss...).Clone()
+		v3 := B(bs).Clone()
+		if len(ns) > 0 {
+			ns[0]++
+			if v1.NL[0] == ns[0] {
+				return false
+			}
+		}
+		if len(ss) > 0 {
+			ss[0] += "x"
+			if v2.SL[0] == ss[0] {
+				return false
+			}
+		}
+		if len(bs) > 0 {
+			bs[0]++
+			if v3.Byt[0] == bs[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemSizeAccounting(t *testing.T) {
+	it := Item{"ab": N(1), "c": S("xyz"), "d": B([]byte{1, 2, 3, 4})}
+	// 2+8 + 1+3 + 1+4 = 19
+	if got := it.Size(); got != 19 {
+		t.Fatalf("size = %d", got)
+	}
+	if NumList(1, 2, 3).Size() != 24 {
+		t.Fatal("numlist size")
+	}
+	if StrList("ab", "c").Size() != 5 {
+		t.Fatal("strlist size")
+	}
+}
+
+func TestCondStringsAndCombinators(t *testing.T) {
+	it := Item{"v": N(5), "xs": NumList(7, 8)}
+	cases := []struct {
+		c    Cond
+		want bool
+	}{
+		{Exists{}, true},
+		{Not{NotExists{}}, true},
+		{AttrExists{"v"}, true},
+		{AttrNotExists{"v"}, false},
+		{Eq{"v", N(5)}, true},
+		{Eq{"v", N(6)}, false},
+		{NumLt{"v", 6}, true},
+		{NumLt{"v", 5}, false},
+		{NumListHeadEq{"xs", 7}, true},
+		{NumListHeadEq{"xs", 8}, false},
+		{And{Exists{}, Eq{"v", N(5)}}, true},
+		{And{Exists{}, Eq{"v", N(6)}}, false},
+		{Or{Eq{"v", N(6)}, NumLt{"v", 100}}, true},
+		{Or{Eq{"v", N(6)}, NumLt{"v", 1}}, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(it, true); got != c.want {
+			t.Errorf("%s = %v, want %v", c.c, got, c.want)
+		}
+		if c.c.String() == "" {
+			t.Errorf("empty string for %T", c.c)
+		}
+	}
+	// Absent item.
+	if (Eq{"v", N(5)}).Eval(nil, false) {
+		t.Error("Eq on absent item")
+	}
+	if !(NotExists{}).Eval(nil, false) {
+		t.Error("NotExists on absent item")
+	}
+}

@@ -1,0 +1,182 @@
+// Package kv implements the simulated key-value database used as
+// FaaSKeeper's system store: a DynamoDB/Datastore-like table with strongly
+// and eventually consistent reads, conditional update expressions, atomic
+// counters and list operations, multi-item transactions, change streams,
+// per-operation billing, and latencies calibrated to the paper's Table 6a.
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the attribute value types the reproduction needs.
+type Kind uint8
+
+// Supported attribute kinds.
+const (
+	KindString Kind = iota
+	KindNumber
+	KindBytes
+	KindNumList
+	KindStrList
+)
+
+// Value is a typed attribute value (the equivalent of a DynamoDB
+// AttributeValue restricted to the types FaaSKeeper uses).
+type Value struct {
+	Kind Kind
+	Str  string
+	Num  int64
+	Byt  []byte
+	NL   []int64
+	SL   []string
+}
+
+// S builds a string value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// N builds a number value.
+func N(n int64) Value { return Value{Kind: KindNumber, Num: n} }
+
+// B builds a binary value.
+func B(b []byte) Value { return Value{Kind: KindBytes, Byt: b} }
+
+// NumList builds a number-list value.
+func NumList(ns ...int64) Value { return Value{Kind: KindNumList, NL: ns} }
+
+// StrList builds a string-list value.
+func StrList(ss ...string) Value { return Value{Kind: KindStrList, SL: ss} }
+
+// Size returns the billing size of the value in bytes.
+func (v Value) Size() int {
+	switch v.Kind {
+	case KindString:
+		return len(v.Str)
+	case KindNumber:
+		return 8
+	case KindBytes:
+		return len(v.Byt)
+	case KindNumList:
+		return 8 * len(v.NL)
+	case KindStrList:
+		n := 0
+		for _, s := range v.SL {
+			n += len(s) + 1
+		}
+		return n
+	}
+	return 0
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.Str == o.Str
+	case KindNumber:
+		return v.Num == o.Num
+	case KindBytes:
+		return bytes.Equal(v.Byt, o.Byt)
+	case KindNumList:
+		if len(v.NL) != len(o.NL) {
+			return false
+		}
+		for i := range v.NL {
+			if v.NL[i] != o.NL[i] {
+				return false
+			}
+		}
+		return true
+	case KindStrList:
+		if len(v.SL) != len(o.SL) {
+			return false
+		}
+		for i := range v.SL {
+			if v.SL[i] != o.SL[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Clone returns a deep copy so callers cannot alias stored state.
+func (v Value) Clone() Value {
+	switch v.Kind {
+	case KindBytes:
+		v.Byt = append([]byte(nil), v.Byt...)
+	case KindNumList:
+		v.NL = append([]int64(nil), v.NL...)
+	case KindStrList:
+		v.SL = append([]string(nil), v.SL...)
+	}
+	return v
+}
+
+// String renders the value for debugging.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindString:
+		return fmt.Sprintf("%q", v.Str)
+	case KindNumber:
+		return fmt.Sprintf("%d", v.Num)
+	case KindBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.Byt))
+	case KindNumList:
+		return fmt.Sprintf("%v", v.NL)
+	case KindStrList:
+		return fmt.Sprintf("%q", v.SL)
+	}
+	return "?"
+}
+
+// Item is one table row: attribute name -> value.
+type Item map[string]Value
+
+// Size returns the billing size of the item: attribute names plus values.
+func (it Item) Size() int {
+	n := 0
+	for k, v := range it {
+		n += len(k) + v.Size()
+	}
+	return n
+}
+
+// Clone deep-copies the item.
+func (it Item) Clone() Item {
+	out := make(Item, len(it))
+	for k, v := range it {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+// String renders the item with attributes sorted for deterministic output.
+func (it Item) String() string {
+	keys := make([]string, 0, len(it))
+	for k := range it {
+		keys = append(keys, k)
+	}
+	// Tiny n: insertion sort keeps this dependency-free.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", k, it[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,103 @@
+// Package object implements the simulated object store (S3 / Cloud
+// Storage) used as FaaSKeeper's user data store: whole-object reads and
+// writes with strong consistency, size-linear latency, cross-region
+// penalties, and per-operation billing. Partial updates are deliberately
+// not offered — their absence forces the leader's read-modify-write cycle
+// the paper discusses (Requirement #6).
+package object
+
+import (
+	"errors"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/sim"
+)
+
+// ErrNoSuchKey is returned when reading a missing object.
+var ErrNoSuchKey = errors.New("object: no such key")
+
+// Bucket is one simulated bucket, pinned to a region. Access from other
+// regions pays the cross-region penalty of Figure 4b.
+type Bucket struct {
+	env     *cloud.Env
+	name    string
+	region  cloud.Region
+	objects map[string][]byte
+}
+
+// NewBucket creates an empty bucket in the given region.
+func NewBucket(env *cloud.Env, name string, region cloud.Region) *Bucket {
+	return &Bucket{env: env, name: name, region: region, objects: map[string][]byte{}}
+}
+
+// Name returns the bucket name.
+func (b *Bucket) Name() string { return b.name }
+
+// Region returns the bucket's region.
+func (b *Bucket) Region() cloud.Region { return b.region }
+
+func (b *Bucket) latency(ctx cloud.Ctx, base sim.Dist, perKB sim.Time, size int) sim.Time {
+	p := b.env.Profile
+	t := b.env.OpTime(ctx, base, perKB, size)
+	if ctx.Region != b.region {
+		t += b.env.OpTime(ctx, p.XRegionBase, p.XRegionPerKB, size)
+	}
+	return sim.Time(float64(t) * ctx.ObjFactor())
+}
+
+// Put stores data (a full-object overwrite; there is no offset write).
+func (b *Bucket) Put(ctx cloud.Ctx, key string, data []byte) {
+	p := b.env.Profile
+	b.env.K.Sleep(b.latency(ctx, p.ObjWriteBase, p.ObjWritePerKB, len(data)))
+	b.env.Meter.Charge("obj.write", p.Pricing.ObjectWriteCost(len(data)), 1)
+	b.objects[key] = append([]byte(nil), data...)
+}
+
+// Get returns a copy of the object. Reads are strongly consistent: a
+// successful write is immediately visible (Section 2.1).
+func (b *Bucket) Get(ctx cloud.Ctx, key string) ([]byte, error) {
+	data, ok := b.objects[key]
+	p := b.env.Profile
+	b.env.K.Sleep(b.latency(ctx, p.ObjReadBase, p.ObjReadPerKB, len(data)))
+	b.env.Meter.Charge("obj.read", p.Pricing.ObjectReadCost(len(data)), 1)
+	data, ok = b.objects[key] // racing writer may have landed while we slept
+	if !ok {
+		return nil, ErrNoSuchKey
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete removes the object; deleting a missing key is a no-op, as in S3.
+func (b *Bucket) Delete(ctx cloud.Ctx, key string) {
+	p := b.env.Profile
+	b.env.K.Sleep(b.latency(ctx, p.ObjWriteBase, p.ObjWritePerKB, 0))
+	b.env.Meter.Charge("obj.write", p.Pricing.ObjectWriteCost(0), 1)
+	delete(b.objects, key)
+}
+
+// Len returns the number of stored objects (test helper, no latency).
+func (b *Bucket) Len() int { return len(b.objects) }
+
+// TotalSize returns the stored bytes (for storage-cost accounting).
+func (b *Bucket) TotalSize() int {
+	n := 0
+	for _, d := range b.objects {
+		n += len(d)
+	}
+	return n
+}
+
+// SeedPut stores an object without latency or billing, for deployment
+// bootstrap before measurement starts.
+func (b *Bucket) SeedPut(key string, data []byte) {
+	b.objects[key] = append([]byte(nil), data...)
+}
+
+// Peek returns the stored object without latency or billing.
+func (b *Bucket) Peek(key string) ([]byte, bool) {
+	d, ok := b.objects[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}

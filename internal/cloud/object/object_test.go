@@ -1,0 +1,138 @@
+package object
+
+import (
+	"errors"
+	"testing"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/sim"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	k := sim.NewKernel(1)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	b := NewBucket(env, "user-data", cloud.RegionAWSHome)
+	ctx := cloud.ClientCtx(cloud.RegionAWSHome)
+	k.Go("client", func() {
+		b.Put(ctx, "a", []byte("hello"))
+		got, err := b.Get(ctx, "a")
+		if err != nil || string(got) != "hello" {
+			t.Errorf("get: %q %v", got, err)
+		}
+		got[0] = 'X' // must not alias the stored copy
+		got2, _ := b.Get(ctx, "a")
+		if string(got2) != "hello" {
+			t.Error("stored object aliased")
+		}
+		b.Delete(ctx, "a")
+		if _, err := b.Get(ctx, "a"); !errors.Is(err, ErrNoSuchKey) {
+			t.Errorf("after delete: %v", err)
+		}
+		b.Delete(ctx, "a") // idempotent
+	})
+	k.Run()
+	if env.Meter.Count("obj.write") != 3 || env.Meter.Count("obj.read") != 3 {
+		t.Fatalf("meter: %v", env.Meter)
+	}
+	// Writes are 12.5x more expensive than reads (Figure 4a).
+	w := env.Meter.Cost("obj.write") / 3
+	r := env.Meter.Cost("obj.read") / 3
+	if ratio := w / r; ratio < 12 || ratio > 13 {
+		t.Fatalf("write/read cost ratio = %v", ratio)
+	}
+}
+
+func TestCrossRegionPenalty(t *testing.T) {
+	k := sim.NewKernel(2)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	b := NewBucket(env, "user-data", cloud.RegionAWSHome)
+	data := make([]byte, 100*1024)
+	var local, remote sim.Time
+	k.Go("client", func() {
+		b.Put(cloud.ClientCtx(cloud.RegionAWSHome), "x", data)
+		t0 := k.Now()
+		for i := 0; i < 10; i++ {
+			b.Get(cloud.ClientCtx(cloud.RegionAWSHome), "x")
+		}
+		local = k.Now() - t0
+		t0 = k.Now()
+		for i := 0; i < 10; i++ {
+			b.Get(cloud.ClientCtx(cloud.RegionAWSRemote), "x")
+		}
+		remote = k.Now() - t0
+	})
+	k.Run()
+	if float64(remote) < 3*float64(local) {
+		t.Fatalf("cross-region read not penalized: local=%v remote=%v", local, remote)
+	}
+}
+
+func TestLatencyGrowsWithSize(t *testing.T) {
+	k := sim.NewKernel(3)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	b := NewBucket(env, "user-data", cloud.RegionAWSHome)
+	ctx := cloud.ClientCtx(cloud.RegionAWSHome)
+	var small, large sim.Time
+	k.Go("client", func() {
+		t0 := k.Now()
+		for i := 0; i < 20; i++ {
+			b.Put(ctx, "s", make([]byte, 1024))
+		}
+		small = k.Now() - t0
+		t0 = k.Now()
+		for i := 0; i < 20; i++ {
+			b.Put(ctx, "l", make([]byte, 500*1024))
+		}
+		large = k.Now() - t0
+	})
+	k.Run()
+	if float64(large) < 2*float64(small) {
+		t.Fatalf("large writes too fast: %v vs %v", small, large)
+	}
+}
+
+func TestIOScaleSlowsFunctions(t *testing.T) {
+	// A 512 MB sandbox (IOScale < 1) moves data slower than a 2048 MB one.
+	k := sim.NewKernel(4)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	b := NewBucket(env, "user-data", cloud.RegionAWSHome)
+	data := make([]byte, 250*1024)
+	fast := cloud.Ctx{Region: cloud.RegionAWSHome, IOScale: 1, CPUScale: 1}
+	slow := cloud.Ctx{Region: cloud.RegionAWSHome, IOScale: 0.625, CPUScale: 1}
+	var tFast, tSlow sim.Time
+	k.Go("client", func() {
+		t0 := k.Now()
+		for i := 0; i < 20; i++ {
+			b.Put(fast, "x", data)
+		}
+		tFast = k.Now() - t0
+		t0 = k.Now()
+		for i := 0; i < 20; i++ {
+			b.Put(slow, "x", data)
+		}
+		tSlow = k.Now() - t0
+	})
+	k.Run()
+	if tSlow <= tFast {
+		t.Fatalf("small sandbox not slower: fast=%v slow=%v", tFast, tSlow)
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	k := sim.NewKernel(1)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	b := NewBucket(env, "user-data", cloud.RegionAWSHome)
+	ctx := cloud.ClientCtx(cloud.RegionAWSHome)
+	k.Go("client", func() {
+		b.Put(ctx, "a", make([]byte, 100))
+		b.Put(ctx, "b", make([]byte, 50))
+		b.Put(ctx, "a", make([]byte, 10)) // overwrite
+	})
+	k.Run()
+	if b.TotalSize() != 60 || b.Len() != 2 {
+		t.Fatalf("size=%d len=%d", b.TotalSize(), b.Len())
+	}
+	if _, ok := b.Peek("a"); !ok {
+		t.Fatal("peek failed")
+	}
+}

@@ -1,0 +1,203 @@
+package cloud
+
+import (
+	"time"
+
+	"faaskeeper/internal/sim"
+)
+
+// QueueKind distinguishes the queue technologies benchmarked in
+// Section 5.2.2.
+type QueueKind string
+
+// Queue kinds available in the profiles.
+const (
+	QueueFIFO     QueueKind = "fifo"     // SQS FIFO: ordered, batch <= 10
+	QueueStandard QueueKind = "standard" // SQS standard: unordered, large batches
+	QueueStream   QueueKind = "stream"   // DynamoDB Streams shard
+	QueueOrdered  QueueKind = "ordered"  // Pub/Sub with ordering keys
+)
+
+// Profile holds the calibrated latency distributions and pricing for one
+// provider. Base distributions come from the paper's published percentile
+// rows (Tables 3 and 6a, Figures 4b, 7a, 7c); per-KB slopes are fitted
+// between the published small/large size points.
+type Profile struct {
+	Name    string
+	Pricing Pricing
+	Home    Region
+
+	// Key-value store (DynamoDB / Datastore).
+	KVReadBase    sim.Dist
+	KVReadPerKB   time.Duration
+	KVWriteBase   sim.Dist // 1 kB item write
+	KVWritePerKB  time.Duration
+	KVCondPenalty sim.Dist // conditional/custom update expression surcharge
+	KVTxPenalty   sim.Dist // transactions (Datastore); nil when cheap cond. updates exist
+	KVListPerKB   time.Duration
+	KVReplicaLag  time.Duration // eventual-consistency staleness window
+	KVMaxItemB    int           // 400 kB on DynamoDB, 1 MB on Datastore
+
+	// Object store (S3 / Cloud Storage).
+	ObjReadBase   sim.Dist
+	ObjReadPerKB  time.Duration
+	ObjWriteBase  sim.Dist
+	ObjWritePerKB time.Duration
+
+	// Cross-region access penalty (Figure 4b).
+	XRegionBase  sim.Dist
+	XRegionPerKB time.Duration
+
+	// In-memory cache store (Redis on a VM; "third-party" per the paper).
+	MemReadBase   sim.Dist
+	MemReadPerKB  time.Duration
+	MemWriteBase  sim.Dist
+	MemWritePerKB time.Duration
+
+	// Queues.
+	QueueSendBase  sim.Dist // synchronous send API call
+	QueueSendPerKB time.Duration
+	QueueDeliver   map[QueueKind]sim.Dist // send-complete -> trigger fire
+	QueueMaxMsgB   int
+	FIFOMaxBatch   int
+
+	// Functions.
+	ColdStart    sim.Dist
+	WarmOverhead sim.Dist // per-invocation runtime overhead in a warm sandbox
+	DirectInvoke sim.Dist // free-function API overhead (Figure 7a "Direct")
+	DirectPerKB  time.Duration
+
+	// Networking.
+	ClientRTT sim.Dist // client VM <-> cloud endpoint, same region
+	LANRTT    sim.Dist // server <-> server within a deployment (ZooKeeper)
+	WireKBps  float64  // payload streaming rate on TCP links, KB per ms
+
+	// ZooKeeper baseline knobs.
+	ZKDiskSync sim.Dist // transaction-log fsync on each quorum write
+}
+
+// AWSProfile returns the latency/cost model for the AWS deployment
+// (Lambda + DynamoDB + S3 + SQS in us-east-1).
+func AWSProfile() *Profile {
+	return &Profile{
+		Name:    "aws",
+		Pricing: AWSPricing(),
+		Home:    RegionAWSHome,
+
+		// Table 6a: regular DynamoDB write of 1 kB / 64 kB items.
+		KVWriteBase:   sim.Q(3.95, 4.35, 4.79, 6.33, 60.26),
+		KVWritePerKB:  sim.Ms(0.98), // (66.31-4.35)/63 per kB
+		KVReadBase:    sim.Q(1.6, 4.0, 5.5, 9.0, 45),
+		KVReadPerKB:   sim.Ms(0.050),
+		KVCondPenalty: sim.Q(0.9, 2.45, 3.4, 7.8, 17.0), // +2.5 ms median (Section 5.2.1)
+		KVTxPenalty:   nil,
+		KVListPerKB:   sim.Ms(0.0685), // Table 6a list append 1024 x 1 kB
+		KVReplicaLag:  20 * time.Millisecond,
+		KVMaxItemB:    400 * 1024,
+
+		// Figures 4b and 8-10: S3 access from the same region.
+		ObjReadBase:   sim.Q(5, 11, 22, 35, 90),
+		ObjReadPerKB:  sim.Ms(0.055),
+		ObjWriteBase:  sim.Q(13, 25, 46, 60, 100),
+		ObjWritePerKB: sim.Ms(0.235),
+
+		XRegionBase:  sim.Q(120, 150, 190, 230, 300),
+		XRegionPerKB: sim.Ms(0.30),
+
+		MemReadBase:   sim.Q(0.30, 0.55, 0.95, 1.6, 5),
+		MemReadPerKB:  sim.Ms(0.012),
+		MemWriteBase:  sim.Q(0.35, 0.65, 1.1, 1.9, 6),
+		MemWritePerKB: sim.Ms(0.013),
+
+		// Table 3 "Push" row (4 B): the synchronous SQS send call.
+		QueueSendBase:  sim.Q90(9.65, 13.35, 15.55, 17.28, 38.15),
+		QueueSendPerKB: sim.Ms(0.239), // (72.18-13.35)/246 per kB
+		QueueDeliver: map[QueueKind]sim.Dist{
+			// Derived from Figure 7a end-to-end rows minus the send call
+			// and the ~0.9 ms TCP reply.
+			QueueFIFO:     sim.Q(4, 9.5, 60, 135, 150),
+			QueueStandard: sim.Q(10, 25, 55, 100, 270),
+			QueueStream:   sim.Q(170, 236, 258, 408, 730),
+		},
+		QueueMaxMsgB: 256 * 1024,
+		FIFOMaxBatch: 10,
+
+		ColdStart:    sim.Q(120, 180, 300, 450, 900),
+		WarmOverhead: sim.Q(0.3, 1.0, 3.0, 8.0, 20),
+		DirectInvoke: sim.Q(20, 37, 71, 120, 205), // Figure 7a "Direct" 64 B
+		DirectPerKB:  sim.Ms(0.152),               // (48.69-39.0)/64 per kB
+
+		ClientRTT: sim.Q(0.40, 0.86, 1.30, 2.0, 5.0), // Section 5.2.2: 864 us median
+		LANRTT:    sim.Q(0.15, 0.30, 0.55, 0.9, 3.0),
+		WireKBps:  1250, // ~10 Gb/s within a region
+
+		ZKDiskSync: sim.Q(0.5, 1.4, 3.0, 6.0, 25),
+	}
+}
+
+// GCPProfile returns the latency/cost model for the GCP deployment
+// (Cloud Functions + Datastore + Cloud Storage + Pub/Sub in us-central1).
+func GCPProfile() *Profile {
+	return &Profile{
+		Name:    "gcp",
+		Pricing: GCPPricing(),
+		Home:    RegionGCPHome,
+
+		// Figure 8 (GCP): Datastore reads 2.3x slower than DynamoDB on
+		// small nodes, ~30% faster on large nodes (shallower slope).
+		KVReadBase:    sim.Q(3.5, 9.2, 14, 21, 60),
+		KVReadPerKB:   sim.Ms(0.012),
+		KVWriteBase:   sim.Q(7, 12, 19, 32, 95),
+		KVWritePerKB:  sim.Ms(0.85),
+		KVCondPenalty: nil,                      // Datastore has no conditional update expressions...
+		KVTxPenalty:   sim.Q(4, 10, 16, 28, 85), // ...synchronization uses transactions
+		KVListPerKB:   sim.Ms(0.09),
+		KVReplicaLag:  25 * time.Millisecond,
+		KVMaxItemB:    1024 * 1024,
+
+		// "Object storage slower than AWS S3" (Figure 8, GCP panel).
+		ObjReadBase:   sim.Q(9, 24, 45, 70, 160),
+		ObjReadPerKB:  sim.Ms(0.085),
+		ObjWriteBase:  sim.Q(22, 44, 80, 120, 260),
+		ObjWritePerKB: sim.Ms(0.30),
+
+		XRegionBase:  sim.Q(110, 145, 185, 225, 310),
+		XRegionPerKB: sim.Ms(0.32),
+
+		MemReadBase:   sim.Q(0.32, 0.6, 1.0, 1.7, 5),
+		MemReadPerKB:  sim.Ms(0.012),
+		MemWriteBase:  sim.Q(0.38, 0.7, 1.2, 2.0, 6),
+		MemWritePerKB: sim.Ms(0.013),
+
+		QueueSendBase:  sim.Q(4, 7, 12, 20, 50),
+		QueueSendPerKB: sim.Ms(0.20),
+		QueueDeliver: map[QueueKind]sim.Dist{
+			// Figure 7c: unordered Pub/Sub beats direct invocation;
+			// ordered subscriptions add >170 ms.
+			QueueStandard: sim.Q(15, 30, 86, 105, 600),
+			QueueOrdered:  sim.Q(150, 192, 226, 565, 580),
+		},
+		QueueMaxMsgB: 10 * 1024 * 1024,
+		FIFOMaxBatch: 10,
+
+		ColdStart:    sim.Q(200, 350, 700, 1200, 2500),
+		WarmOverhead: sim.Q(0.4, 1.3, 3.5, 9.0, 25),
+		DirectInvoke: sim.Q(45, 82, 93, 111, 1114), // Figure 7c "Direct" 64 B
+		DirectPerKB:  sim.Ms(0.031),
+
+		ClientRTT: sim.Q(0.45, 0.95, 1.4, 2.2, 6.0),
+		LANRTT:    sim.Q(0.18, 0.35, 0.6, 1.0, 3.5),
+		WireKBps:  1250,
+
+		ZKDiskSync: sim.Q(0.5, 1.5, 3.2, 6.5, 27),
+	}
+}
+
+// OrderedQueueKind returns the FIFO-capable queue kind for this provider:
+// SQS FIFO on AWS, ordered Pub/Sub on GCP.
+func (p *Profile) OrderedQueueKind() QueueKind {
+	if _, ok := p.QueueDeliver[QueueFIFO]; ok {
+		return QueueFIFO
+	}
+	return QueueOrdered
+}

@@ -1,0 +1,107 @@
+package queue
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/sim"
+)
+
+// TestFIFOOrderUnderRandomBatchingProperty: whatever interleaving of sends
+// and batched receives the schedule produces, an ordered queue must hand
+// out messages in send order with monotonically increasing sequence
+// numbers and no loss or duplication.
+func TestFIFOOrderUnderRandomBatchingProperty(t *testing.T) {
+	f := func(seed int64, nMsg uint8, gaps []uint8) bool {
+		n := int(nMsg)%60 + 1
+		k := sim.NewKernel(seed)
+		env := cloud.NewEnv(k, cloud.AWSProfile())
+		q := New(env, "prop", cloud.QueueFIFO)
+
+		var got []Message
+		k.Go("consumer", func() {
+			for {
+				batch, ok := q.Receive(0)
+				if !ok {
+					return
+				}
+				got = append(got, batch...)
+			}
+		})
+		k.Go("producer", func() {
+			for i := 0; i < n; i++ {
+				body := make([]byte, 4)
+				binary.LittleEndian.PutUint32(body, uint32(i))
+				if _, err := q.Send(cloud.ClientCtx(cloud.RegionAWSHome), "g", body); err != nil {
+					return
+				}
+				gap := sim.Time(0)
+				if len(gaps) > 0 {
+					gap = sim.Time(gaps[i%len(gaps)]) * sim.Ms(1)
+				}
+				k.Sleep(gap)
+			}
+			q.Close()
+		})
+		k.Run()
+		k.Shutdown()
+
+		if len(got) != n {
+			return false
+		}
+		var lastSeq int64
+		for i, m := range got {
+			if binary.LittleEndian.Uint32(m.Body) != uint32(i) {
+				return false
+			}
+			if m.SeqNo <= lastSeq {
+				return false
+			}
+			lastSeq = m.SeqNo
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStandardQueueDeliversAllUnderBursts: the unordered queue may batch
+// arbitrarily but must not lose or duplicate messages.
+func TestStandardQueueDeliversAllUnderBursts(t *testing.T) {
+	k := sim.NewKernel(9)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	q := New(env, "burst", cloud.QueueStandard)
+	seen := map[int64]bool{}
+	k.Go("consumer", func() {
+		for {
+			batch, ok := q.Receive(0)
+			if !ok {
+				return
+			}
+			for _, m := range batch {
+				if seen[m.SeqNo] {
+					t.Errorf("duplicate %d", m.SeqNo)
+				}
+				seen[m.SeqNo] = true
+			}
+		}
+	})
+	k.Go("producer", func() {
+		ctx := cloud.ClientCtx(cloud.RegionAWSHome)
+		for i := 0; i < 100; i++ {
+			q.Send(ctx, "", []byte("x"))
+			if i%10 == 9 {
+				k.Sleep(50 * sim.Ms(1)) // bursts with pauses
+			}
+		}
+		q.Close()
+	})
+	k.Run()
+	k.Shutdown()
+	if len(seen) != 100 {
+		t.Fatalf("delivered %d of 100", len(seen))
+	}
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"time"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/cloud/faas"
+	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/cloud/network"
+	"faaskeeper/internal/cloud/queue"
+	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/sim"
+	"faaskeeper/internal/stats"
+	"faaskeeper/internal/znode"
+)
+
+// Function names deployed by FaaSKeeper (Section 3: four functions).
+const (
+	FnFollower  = "follower"
+	FnLeader    = "leader"
+	FnWatch     = "watch"
+	FnHeartbeat = "heartbeat"
+)
+
+// Config selects the deployment's provider profile, storage backends, and
+// function resources.
+type Config struct {
+	Profile   *cloud.Profile // default: cloud.AWSProfile()
+	UserStore StoreKind      // default: StoreObject (the paper's base AWS setup)
+
+	// HybridThresholdB is the KV/object split point (default 4 kB).
+	HybridThresholdB int
+
+	// ExtraRegions adds user-store replicas the leader updates in parallel.
+	ExtraRegions []cloud.Region
+
+	FollowerMemMB  int // default 2048
+	LeaderMemMB    int // default 2048
+	WatchMemMB     int // default 512
+	HeartbeatMemMB int // default 512
+	Arch           faas.Arch
+	VCPU           float64
+
+	LockLease        time.Duration // timed-lock lease (default 2 s)
+	HeartbeatEvery   time.Duration // 0 disables the scheduled function
+	HeartbeatTimeout time.Duration // client reply deadline (default 1.5 s)
+	Retries          int           // event-function retry budget (default 2)
+
+	// MaxNodeB caps node data (default 250 kB, the paper's AWS limit from
+	// SQS message sizing; Section 4.4).
+	MaxNodeB int
+
+	// CollectPhases enables per-phase latency sampling (Figures 9-12,
+	// Table 3).
+	CollectPhases bool
+
+	// Faults injects failures for resilience tests.
+	Faults Faults
+}
+
+// Faults are injectable failure probabilities.
+type Faults struct {
+	// FollowerCrashAfterPush is the probability that the follower function
+	// dies after pushing to the leader queue but before committing the
+	// system store — the window Algorithm 2's TryCommit covers.
+	FollowerCrashAfterPush float64
+}
+
+func (c *Config) defaults() {
+	if c.Profile == nil {
+		c.Profile = cloud.AWSProfile()
+	}
+	if c.UserStore == "" {
+		c.UserStore = StoreObject
+	}
+	if c.HybridThresholdB <= 0 {
+		c.HybridThresholdB = 4096
+	}
+	if c.FollowerMemMB <= 0 {
+		c.FollowerMemMB = 2048
+	}
+	if c.LeaderMemMB <= 0 {
+		c.LeaderMemMB = 2048
+	}
+	if c.WatchMemMB <= 0 {
+		c.WatchMemMB = 512
+	}
+	if c.HeartbeatMemMB <= 0 {
+		c.HeartbeatMemMB = 512
+	}
+	if c.LockLease <= 0 {
+		c.LockLease = 2 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 1500 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.MaxNodeB <= 0 {
+		c.MaxNodeB = 250 * 1024
+	}
+}
+
+// Deployment is one running FaaSKeeper instance: storage, queues,
+// functions, and the registry of connected sessions.
+type Deployment struct {
+	K        *sim.Kernel
+	Env      *cloud.Env
+	Platform *faas.Platform
+	Cfg      Config
+
+	System *kv.Table
+	Locks  *fksync.LockManager
+	Stores []UserStore // [0] is the home-region primary
+
+	LeaderQ *queue.Queue
+
+	sessions map[string]*SessionTransport
+	phases   map[string]*stats.Sample
+
+	// lastSeq is the warm-sandbox deduplication cache: each session's
+	// queue has exactly one concurrent follower instance, so remembering
+	// the last processed sequence number in sandbox state suffices to make
+	// queue-retry redelivery idempotent.
+	lastSeq map[string]int64
+}
+
+// SessionTransport is the cloud-side plumbing of one client session: its
+// request queue and the duplex connection used for responses,
+// notifications, and heartbeats.
+type SessionTransport struct {
+	ID        string
+	Region    cloud.Region
+	Queue     *queue.Queue
+	ClientEnd *network.End // client side: receive responses / notifications
+	cloudEnd  *network.End
+	pongs     *sim.Queue[Pong]
+	closed    bool
+}
+
+// NewDeployment builds a FaaSKeeper deployment on kernel k. It deploys the
+// four functions, wires the leader queue trigger, schedules the heartbeat,
+// and seeds the tree root.
+func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
+	cfg.defaults()
+	env := cloud.NewEnv(k, cfg.Profile)
+	d := &Deployment{
+		K:        k,
+		Env:      env,
+		Platform: faas.NewPlatform(env),
+		Cfg:      cfg,
+		System:   kv.NewTable(env, "system"),
+		sessions: map[string]*SessionTransport{},
+		phases:   map[string]*stats.Sample{},
+		lastSeq:  map[string]int64{},
+	}
+	d.System.SetCostCategory("syskv")
+	d.Locks = fksync.NewLockManager(env, d.System, cfg.LockLease)
+
+	regions := append([]cloud.Region{cfg.Profile.Home}, cfg.ExtraRegions...)
+	for _, r := range regions {
+		d.Stores = append(d.Stores, d.newUserStore(r))
+	}
+
+	d.LeaderQ = queue.New(env, "leader", cfg.Profile.OrderedQueueKind())
+
+	d.Platform.Deploy(faas.Config{
+		Name: FnFollower, MemoryMB: cfg.FollowerMemMB, Arch: cfg.Arch, VCPU: cfg.VCPU,
+		Retries: cfg.Retries,
+	}, d.followerHandler)
+	d.Platform.Deploy(faas.Config{
+		Name: FnLeader, MemoryMB: cfg.LeaderMemMB, Arch: cfg.Arch, VCPU: cfg.VCPU,
+		Retries: cfg.Retries,
+	}, d.leaderHandler)
+	d.Platform.Deploy(faas.Config{
+		Name: FnWatch, MemoryMB: cfg.WatchMemMB, Arch: cfg.Arch, VCPU: cfg.VCPU,
+	}, d.watchHandler)
+	d.Platform.Deploy(faas.Config{
+		Name: FnHeartbeat, MemoryMB: cfg.HeartbeatMemMB,
+	}, d.heartbeatHandler)
+
+	// One concurrent leader instance guarantees serialized commits (Z3).
+	d.Platform.AddQueueTrigger(d.LeaderQ, FnLeader, 1)
+
+	if cfg.HeartbeatEvery > 0 {
+		d.Platform.AddSchedule(FnHeartbeat, cfg.HeartbeatEvery)
+	}
+
+	d.seedRoot()
+	return d
+}
+
+func (d *Deployment) newUserStore(r cloud.Region) UserStore {
+	switch d.Cfg.UserStore {
+	case StoreKV:
+		return NewKVStore(d.Env, "user-data-"+string(r), r)
+	case StoreHybrid:
+		return NewHybridStore(d.Env, "user-data-"+string(r), r, d.Cfg.HybridThresholdB)
+	case StoreMem:
+		return NewMemStore(d.Env, r)
+	default:
+		return NewObjectStore(d.Env, "user-data-"+string(r), r)
+	}
+}
+
+// seedRoot bootstraps "/" in system and user stores at no cost.
+func (d *Deployment) seedRoot() {
+	d.System.SeedPut(nodeKey(znode.Root), kv.Item{
+		attrExists:   kv.N(1),
+		attrChildren: kv.StrList(),
+	})
+	root := &znode.Node{Path: znode.Root}
+	for _, s := range d.Stores {
+		s.Seed(root)
+	}
+}
+
+// PrimaryStore returns the home-region user store.
+func (d *Deployment) PrimaryStore() UserStore { return d.Stores[0] }
+
+// StoreFor returns the user store local to a region, falling back to the
+// primary (clients connect to the closest storage, Section 4.1).
+func (d *Deployment) StoreFor(region cloud.Region) UserStore {
+	for _, s := range d.Stores {
+		if s.Region() == region {
+			return s
+		}
+	}
+	return d.Stores[0]
+}
+
+// Connect provisions the cloud-side transport for a new session: a FIFO
+// request queue with a follower trigger (one concurrent instance per
+// session preserves the session's FIFO order while different sessions
+// proceed in parallel — Section 4.3 "horizontal scaling"), and a duplex
+// connection for responses.
+func (d *Deployment) Connect(sessionID string, region cloud.Region) *SessionTransport {
+	if _, dup := d.sessions[sessionID]; dup {
+		panic("core: duplicate session " + sessionID)
+	}
+	q := queue.New(d.Env, "session-"+sessionID, d.Cfg.Profile.OrderedQueueKind())
+	conn := network.NewConn(d.Env, d.Cfg.Profile.Home, region)
+	st := &SessionTransport{
+		ID:        sessionID,
+		Region:    region,
+		Queue:     q,
+		ClientEnd: conn.B(),
+		cloudEnd:  conn.A(),
+		pongs:     sim.NewQueue[Pong](d.K),
+	}
+	d.sessions[sessionID] = st
+	d.Platform.AddQueueTrigger(q, FnFollower, 1)
+	// Ingress: route client->cloud traffic (heartbeat replies).
+	d.K.Go("ingress-"+sessionID, func() {
+		for {
+			pkt, ok := st.cloudEnd.Recv()
+			if !ok {
+				return
+			}
+			if pong, isPong := pkt.Payload.(Pong); isPong {
+				st.pongs.Push(pong)
+			}
+		}
+	})
+	return st
+}
+
+// Transport returns the transport of a connected session, or nil.
+func (d *Deployment) Transport(sessionID string) *SessionTransport {
+	return d.sessions[sessionID]
+}
+
+// ReleaseTransport tears down a session's queue and connection after the
+// session has been deregistered.
+func (d *Deployment) ReleaseTransport(sessionID string) {
+	st := d.sessions[sessionID]
+	if st == nil {
+		return
+	}
+	st.closed = true
+	st.Queue.Close()
+	st.cloudEnd.Close()
+	delete(d.sessions, sessionID)
+}
+
+// notify sends a message to the session's client, dropping it if the
+// session is gone (a dead client's responses vanish, as in the cloud).
+func (d *Deployment) notify(sessionID string, payload any, size int) {
+	st := d.sessions[sessionID]
+	if st == nil || st.closed {
+		return
+	}
+	st.cloudEnd.Send(payload, size)
+}
+
+// recordPhase samples a per-phase latency when collection is enabled.
+func (d *Deployment) recordPhase(name string, dur sim.Time) {
+	if !d.Cfg.CollectPhases {
+		return
+	}
+	s, ok := d.phases[name]
+	if !ok {
+		s = stats.NewSample(1024)
+		d.phases[name] = s
+	}
+	s.AddDur(dur)
+}
+
+// Phase returns the collected samples for one phase name (nil if none).
+func (d *Deployment) Phase(name string) *stats.Sample { return d.phases[name] }
+
+// PhaseNames lists phases with recorded samples.
+func (d *Deployment) PhaseNames() []string {
+	names := make([]string, 0, len(d.phases))
+	for n := range d.phases {
+		names = append(names, n)
+	}
+	return names
+}
+
+// ResetMetrics clears the cost meter and phase samples (used after warmup).
+func (d *Deployment) ResetMetrics() {
+	d.Env.Meter.Reset()
+	d.phases = map[string]*stats.Sample{}
+}
+
+// RegisterSession writes the session record; the client library calls this
+// during connection establishment.
+func (d *Deployment) RegisterSession(ctx cloud.Ctx, sessionID string) error {
+	return d.System.Put(ctx, sessionKey(sessionID), kv.Item{
+		attrSessionReg:  kv.N(1),
+		attrSessionAddr: kv.S(string(ctx.Region)),
+		attrSessionEph:  kv.StrList(),
+	}, nil)
+}
+
+// RegisterWatch adds the session to the watch group for (path, type) and
+// returns the watch id the client must remember for epoch-based read
+// ordering. Registration is a single system-store write (Section 4.1:
+// "adding insignificant cost").
+func (d *Deployment) RegisterWatch(ctx cloud.Ctx, path string, wt WatchType, sessionID string) (int64, error) {
+	attr := watchAttr(wt)
+	_, err := d.System.Update(ctx, watchKey(path),
+		[]kv.Update{kv.StrListAppend{Name: attr, Vals: []string{sessionID}}}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return WatchID(path, wt), nil
+}
+
+func watchAttr(wt WatchType) string {
+	switch wt {
+	case WatchData:
+		return attrWatchData
+	case WatchExists:
+		return attrWatchExists
+	default:
+		return attrWatchChild
+	}
+}
+
+// Epoch returns the in-flight watch ids for a region (strongly consistent
+// system-store read; exposed for tests and the client library).
+func (d *Deployment) Epoch(ctx cloud.Ctx, region cloud.Region) ([]int64, error) {
+	it, ok := d.System.Get(ctx, epochKey(region), true)
+	if !ok {
+		return nil, nil
+	}
+	return it[attrEpochList].NL, nil
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/cloud/faas"
+	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/cloud/queue"
+	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/znode"
+)
+
+// errInjectedCrash simulates a follower dying between the leader push and
+// the system-store commit; the queue trigger retries the batch.
+var errInjectedCrash = errors.New("core: injected follower crash")
+
+// followerHandler is Algorithm 1: for every request in the batch, lock the
+// touched nodes (①), validate the operation (②), push the validated change
+// to the leader queue (③), and commit it to the system store together with
+// the lock release (④).
+func (d *Deployment) followerHandler(inv *faas.Invocation) error {
+	for _, m := range inv.Messages {
+		req, err := DecodeRequest(m.Body)
+		if err != nil {
+			continue // malformed message: drop, never poison the queue
+		}
+		if err := d.processRequest(inv.Ctx, req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Deployment) processRequest(ctx cloud.Ctx, req Request) error {
+	// Warm-state deduplication: queue retries redeliver whole batches, and
+	// a request that already went through must not be applied twice.
+	if req.Seq > 0 && d.lastSeq[req.Session] >= req.Seq {
+		return nil
+	}
+	t0 := d.K.Now()
+	var err error
+	switch req.Op {
+	case OpCreate:
+		err = d.followerCreate(ctx, req)
+	case OpSetData:
+		err = d.followerSetData(ctx, req)
+	case OpDelete:
+		err = d.followerDelete(ctx, req)
+	case OpDeregister:
+		err = d.followerDeregister(ctx, req)
+	default:
+		d.respondFailure(req, CodeSystemError)
+	}
+	d.recordPhase("follower.total", d.K.Now()-t0)
+	if err == nil && req.Seq > 0 {
+		d.lastSeq[req.Session] = req.Seq
+	}
+	return err
+}
+
+// respondFailure notifies the client directly from the follower; rejected
+// requests never reach the leader (Algorithm 1, ②).
+func (d *Deployment) respondFailure(req Request, code Code) {
+	resp := Response{Session: req.Session, Seq: req.Seq, Code: code, Path: req.Path}
+	d.notify(req.Session, resp, resp.wireSize())
+}
+
+// lockNode acquires the timed lock and decodes the node's system state.
+func (d *Deployment) lockNode(ctx cloud.Ctx, path string) (fksync.Lock, sysNode, error) {
+	t0 := d.K.Now()
+	lock, item, err := d.Locks.AcquireWait(ctx, nodeKey(path), 0)
+	d.recordPhase("follower.lock", d.K.Now()-t0)
+	return lock, decodeSysNode(item), err
+}
+
+func (d *Deployment) followerSetData(ctx cloud.Ctx, req Request) error {
+	if len(req.Data) > d.Cfg.MaxNodeB {
+		d.respondFailure(req, CodeTooLarge)
+		return nil
+	}
+	lock, node, err := d.lockNode(ctx, req.Path)
+	if err != nil {
+		d.respondFailure(req, CodeSystemError)
+		return nil
+	}
+	// ② Validate under the lock.
+	if !node.Exists {
+		d.unlockAll(ctx, lock)
+		d.respondFailure(req, CodeNoNode)
+		return nil
+	}
+	if req.Version != -1 && req.Version != node.Version {
+		d.unlockAll(ctx, lock)
+		d.respondFailure(req, CodeBadVersion)
+		return nil
+	}
+	newVersion := node.Version + 1
+	blob := znode.Marshal(node.toZNode(req.Path, req.Data), nil)
+	msg := leaderMsg{
+		Session: req.Session, Seq: req.Seq, Op: OpSetData, Path: req.Path,
+		NodeBlob: blob, LockTs: lock.Timestamp, Version: newVersion,
+	}
+	// ③ Push to the leader queue; the FIFO sequence number is the txid.
+	txid, err := d.pushToLeader(ctx, msg)
+	if err != nil {
+		d.unlockAll(ctx, lock)
+		d.respondFailure(req, CodeSystemError)
+		return nil
+	}
+	if d.crashInjected() {
+		return errInjectedCrash
+	}
+	// ④ Commit and unlock in one conditional write.
+	t0 := d.K.Now()
+	_, err = d.Locks.CommitUnlock(ctx, lock, []kv.Update{
+		kv.Set{Name: attrVersion, V: kv.N(int64(newVersion))},
+		kv.Set{Name: attrMzxid, V: kv.N(txid)},
+		kv.ListAppend{Name: attrPending, Vals: []int64{txid}},
+	})
+	d.recordPhase("follower.commit", d.K.Now()-t0)
+	if err != nil {
+		// Lost the lease: the leader's TryCommit may still save the
+		// transaction; nothing more to do here.
+		return nil
+	}
+	return nil
+}
+
+func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
+	if len(req.Data) > d.Cfg.MaxNodeB {
+		d.respondFailure(req, CodeTooLarge)
+		return nil
+	}
+	if req.Path == znode.Root {
+		d.respondFailure(req, CodeNodeExists)
+		return nil
+	}
+	parentPath := znode.Parent(req.Path)
+	// Lock parent first, node second: a uniform top-down order prevents
+	// deadlocks between concurrent creates/deletes.
+	parentLock, parent, err := d.lockNode(ctx, parentPath)
+	if err != nil {
+		d.respondFailure(req, CodeSystemError)
+		return nil
+	}
+	if !parent.Exists {
+		d.unlockAll(ctx, parentLock)
+		d.respondFailure(req, CodeNoNode)
+		return nil
+	}
+	if parent.EphOwner != "" {
+		d.unlockAll(ctx, parentLock)
+		d.respondFailure(req, CodeNoChildrenEph)
+		return nil
+	}
+	// Sequential nodes take their suffix from the parent's counter, read
+	// under the parent lock.
+	finalPath := req.Path
+	if req.Flags&znode.FlagSequential != 0 {
+		finalPath = znode.SequentialName(req.Path, parent.SeqCtr)
+	}
+	name := znode.Base(finalPath)
+
+	nodeLock, node, err := d.lockNode(ctx, finalPath)
+	if err != nil {
+		d.unlockAll(ctx, parentLock)
+		d.respondFailure(req, CodeSystemError)
+		return nil
+	}
+	if node.Exists {
+		d.unlockAll(ctx, nodeLock, parentLock)
+		d.respondFailure(req, CodeNodeExists)
+		return nil
+	}
+
+	owner := ""
+	if req.Flags&znode.FlagEphemeral != 0 {
+		owner = req.Session
+	}
+	newNode := &znode.Node{
+		Path: finalPath,
+		Data: req.Data,
+		Stat: znode.Stat{Ephemeral: owner != "", Owner: owner},
+	}
+	msg := leaderMsg{
+		Session: req.Session, Seq: req.Seq, Op: OpCreate, Path: finalPath,
+		NodeBlob:   znode.Marshal(newNode, nil),
+		ParentPath: parentPath, ChildAdd: name,
+		LockTs: nodeLock.Timestamp, ParentLockTs: parentLock.Timestamp,
+		Cversion: parent.Cversion + 1, EphOwner: owner,
+	}
+	txid, err := d.pushToLeader(ctx, msg)
+	if err != nil {
+		d.unlockAll(ctx, nodeLock, parentLock)
+		code := CodeSystemError
+		if errors.Is(err, errMsgTooLarge) {
+			code = CodeTooLarge
+		}
+		d.respondFailure(req, code)
+		return nil
+	}
+	if d.crashInjected() {
+		return errInjectedCrash
+	}
+	// ④ A multi-node commit: the new node and its parent fail or succeed
+	// together (Section 3.1).
+	t0 := d.K.Now()
+	err = d.Locks.CommitUnlockTx(ctx, []fksync.TxPart{
+		{Lock: nodeLock, Updates: createNodeUpdates(txid, owner)},
+		{Lock: parentLock, Updates: createParentUpdates(name, txid)},
+	})
+	d.recordPhase("follower.commit", d.K.Now()-t0)
+	if err != nil {
+		return nil // lease lost: leader TryCommit may recover
+	}
+	if owner != "" {
+		// Track ephemeral ownership on the session record (used by the
+		// heartbeat eviction path). Not part of the atomic commit: a stale
+		// entry is harmless, a missing node delete is idempotent.
+		_, err = d.System.Update(ctx, sessionKey(req.Session),
+			[]kv.Update{kv.StrListAppend{Name: attrSessionEph, Vals: []string{finalPath}}}, nil)
+		if err != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// createNodeUpdates is the follower's node-item commit; the leader's
+// TryCommit reconstructs exactly the same updates.
+func createNodeUpdates(txid int64, owner string) []kv.Update {
+	ups := []kv.Update{
+		kv.Set{Name: attrExists, V: kv.N(1)},
+		kv.Set{Name: attrVersion, V: kv.N(0)},
+		kv.Set{Name: attrCversion, V: kv.N(0)},
+		kv.Set{Name: attrCzxid, V: kv.N(txid)},
+		kv.Set{Name: attrMzxid, V: kv.N(txid)},
+		kv.Set{Name: attrPzxid, V: kv.N(txid)},
+		kv.Set{Name: attrChildren, V: kv.StrList()},
+		kv.ListAppend{Name: attrPending, Vals: []int64{txid}},
+	}
+	if owner != "" {
+		ups = append(ups, kv.Set{Name: attrEph, V: kv.S(owner)})
+	}
+	return ups
+}
+
+func createParentUpdates(name string, txid int64) []kv.Update {
+	return []kv.Update{
+		kv.StrListAppend{Name: attrChildren, Vals: []string{name}},
+		kv.Add{Name: attrCversion, Delta: 1},
+		kv.Add{Name: attrSeq, Delta: 1},
+		kv.Set{Name: attrPzxid, V: kv.N(txid)},
+	}
+}
+
+func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) error {
+	if req.Path == znode.Root {
+		d.respondFailure(req, CodeSystemError)
+		return nil
+	}
+	parentPath := znode.Parent(req.Path)
+	parentLock, parent, err := d.lockNode(ctx, parentPath)
+	if err != nil {
+		d.respondFailure(req, CodeSystemError)
+		return nil
+	}
+	nodeLock, node, err := d.lockNode(ctx, req.Path)
+	if err != nil {
+		d.unlockAll(ctx, parentLock)
+		d.respondFailure(req, CodeSystemError)
+		return nil
+	}
+	code := CodeOK
+	switch {
+	case !node.Exists:
+		code = CodeNoNode
+	case req.Version != -1 && req.Version != node.Version:
+		code = CodeBadVersion
+	case len(node.Children) > 0:
+		code = CodeNotEmpty
+	case !parent.Exists || !parent.hasChild(znode.Base(req.Path)):
+		code = CodeSystemError
+	}
+	if code != CodeOK {
+		d.unlockAll(ctx, nodeLock, parentLock)
+		d.respondFailure(req, code)
+		return nil
+	}
+	name := znode.Base(req.Path)
+	msg := leaderMsg{
+		Session: req.Session, Seq: req.Seq, Op: OpDelete, Path: req.Path,
+		ParentPath: parentPath, ChildDel: name,
+		LockTs: nodeLock.Timestamp, ParentLockTs: parentLock.Timestamp,
+		Cversion: parent.Cversion + 1, EphOwner: node.EphOwner,
+	}
+	txid, err := d.pushToLeader(ctx, msg)
+	if err != nil {
+		d.unlockAll(ctx, nodeLock, parentLock)
+		d.respondFailure(req, CodeSystemError)
+		return nil
+	}
+	if d.crashInjected() {
+		return errInjectedCrash
+	}
+	t0 := d.K.Now()
+	err = d.Locks.CommitUnlockTx(ctx, []fksync.TxPart{
+		{Lock: nodeLock, Updates: deleteNodeUpdates(txid)},
+		{Lock: parentLock, Updates: deleteParentUpdates(name, txid)},
+	})
+	d.recordPhase("follower.commit", d.K.Now()-t0)
+	if err != nil {
+		return nil
+	}
+	if node.EphOwner != "" {
+		_, _ = d.System.Update(ctx, sessionKey(node.EphOwner),
+			[]kv.Update{kv.StrListRemove{Name: attrSessionEph, Vals: []string{req.Path}}}, nil)
+	}
+	return nil
+}
+
+// deleteNodeUpdates tombstones the node (exists=0) while keeping the item
+// so the leader can track the pending transaction; the leader garbage
+// collects it after the pop.
+func deleteNodeUpdates(txid int64) []kv.Update {
+	return []kv.Update{
+		kv.Set{Name: attrExists, V: kv.N(0)},
+		kv.Set{Name: attrMzxid, V: kv.N(txid)},
+		kv.Remove{Name: attrEph},
+		kv.ListAppend{Name: attrPending, Vals: []int64{txid}},
+	}
+}
+
+func deleteParentUpdates(name string, txid int64) []kv.Update {
+	return []kv.Update{
+		kv.StrListRemove{Name: attrChildren, Vals: []string{name}},
+		kv.Add{Name: attrCversion, Delta: 1},
+		kv.Set{Name: attrPzxid, V: kv.N(txid)},
+	}
+}
+
+// followerDeregister closes a session: every ephemeral node it owns is
+// deleted through the normal write pipeline, then the session record is
+// removed (Section 3.6).
+func (d *Deployment) followerDeregister(ctx cloud.Ctx, req Request) error {
+	item, ok := d.System.Get(ctx, sessionKey(req.Session), true)
+	if !ok {
+		// Already gone: idempotent; answer directly.
+		resp := Response{Session: req.Session, Seq: req.Seq, Code: CodeOK}
+		d.notify(req.Session, resp, resp.wireSize())
+		return nil
+	}
+	eph := append([]string(nil), item[attrSessionEph].SL...)
+	for _, path := range eph {
+		// Seq -1: these deletions produce no client-visible responses; the
+		// deregistration ack below covers them.
+		del := Request{Session: req.Session, Seq: -1, Op: OpDelete, Path: path, Version: -1}
+		if err := d.followerDelete(ctx, del); err != nil {
+			return err
+		}
+	}
+	if err := d.System.Delete(ctx, sessionKey(req.Session), nil); err != nil {
+		return fmt.Errorf("core: deregister: %w", err)
+	}
+	// Acknowledge through the leader queue: the FIFO order guarantees the
+	// ack reaches the client only after every ephemeral deletion above has
+	// been distributed to the user stores.
+	ack := leaderMsg{Session: req.Session, Seq: req.Seq, Op: OpDeregister}
+	_, err := d.pushToLeader(ctx, ack)
+	return err
+}
+
+var errMsgTooLarge = errors.New("core: leader message exceeds queue limit")
+
+// pushToLeader serializes the validated change into the global FIFO queue
+// (③). The returned sequence number is the transaction id: a single
+// ordered queue gives FaaSKeeper its total order of writes.
+func (d *Deployment) pushToLeader(ctx cloud.Ctx, msg leaderMsg) (int64, error) {
+	t0 := d.K.Now()
+	txid, err := d.LeaderQ.Send(ctx, msg.Session, msg.encode())
+	d.recordPhase("follower.push", d.K.Now()-t0)
+	if errors.Is(err, queue.ErrTooLarge) {
+		return 0, errMsgTooLarge
+	}
+	if err == nil && msg.Seq > 0 {
+		// Once pushed, the leader will complete (or TryCommit) this
+		// request even if we crash right here — mark it processed so a
+		// queue retry does not apply it a second time.
+		d.lastSeq[msg.Session] = msg.Seq
+	}
+	return txid, err
+}
+
+func (d *Deployment) unlockAll(ctx cloud.Ctx, locks ...fksync.Lock) {
+	for _, l := range locks {
+		_ = d.Locks.Release(ctx, l)
+	}
+}
+
+func (d *Deployment) crashInjected() bool {
+	p := d.Cfg.Faults.FollowerCrashAfterPush
+	return p > 0 && d.K.Rand().Float64() < p
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/cloud/faas"
+	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/sim"
+	"faaskeeper/internal/znode"
+)
+
+// leaderHandler is Algorithm 2: for each validated change it verifies the
+// system-store commit (➊/➋), distributes the new data to every region's
+// user store (➌), queries and fires watches (➍), notifies the client, and
+// pops the per-node transaction (➎). Watch deliveries finish before the
+// function returns, removing their ids from the epoch counters (➏).
+type watchCompletion struct {
+	wid int64
+	fut *sim.Future[error]
+}
+
+func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
+	ctx := inv.Ctx
+	// Load the per-region epoch counters once per batch; they are
+	// maintained in the system store across invocations (functions are
+	// stateless) and mirrored here while the batch runs.
+	epochs := make(map[cloud.Region][]int64, len(d.Stores))
+	for _, s := range d.Stores {
+		e, err := d.Epoch(ctx, s.Region())
+		if err != nil {
+			return err
+		}
+		epochs[s.Region()] = e
+	}
+	var completions []watchCompletion
+	for _, m := range inv.Messages {
+		msg, err := decodeLeaderMsg(m.Body)
+		if err != nil {
+			continue
+		}
+		tTotal := d.K.Now()
+		comps := d.leaderProcess(ctx, msg, m.SeqNo, epochs)
+		completions = append(completions, comps...)
+		d.recordPhase("leader.total", d.K.Now()-tTotal)
+	}
+	// WaitAll(WatchCallback): every delivery completes before the function
+	// returns, and its id leaves the epoch counter (➏).
+	for _, c := range completions {
+		_ = c.fut.Wait()
+		for _, s := range d.Stores {
+			r := s.Region()
+			_, err := d.System.Update(ctx, epochKey(r),
+				[]kv.Update{kv.ListRemove{Name: attrEpochList, Vals: []int64{c.wid}}}, nil)
+			if err != nil {
+				return err
+			}
+			epochs[r] = removeID(epochs[r], c.wid)
+		}
+	}
+	return nil
+}
+
+func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epochs map[cloud.Region][]int64) []watchCompletion {
+	if msg.Op == OpDeregister {
+		// Deregistration ack: FIFO-ordered behind the session's ephemeral
+		// deletions, so Close() returns only after they are distributed.
+		d.notifyResult(msg, txid, CodeOK, znode.Stat{})
+		return nil
+	}
+	// ➊ Fetch the node's control record and verify our transaction is the
+	// head of its pending list (➋ trying to commit on behalf of a crashed
+	// follower when it is not).
+	t0 := d.K.Now()
+	node, committed := d.awaitCommit(ctx, msg, txid)
+	d.recordPhase("leader.get", d.K.Now()-t0)
+	if !committed {
+		d.notifyResult(msg, txid, CodeSystemError, znode.Stat{})
+		return nil
+	}
+
+	// ➌ Distribute the change to the user stores of every region in
+	// parallel, stamped with that region's in-flight watch ids.
+	t0 = d.K.Now()
+	stat := d.updateUserStores(ctx, msg, txid, node, epochs)
+	d.recordPhase("leader.update", d.K.Now()-t0)
+
+	// ➍ Query watches and launch deliveries.
+	t0 = d.K.Now()
+	fired := d.queryWatches(ctx, msg)
+	d.recordPhase("leader.watchquery", d.K.Now()-t0)
+
+	var comps []watchCompletion
+	for _, f := range fired {
+		for _, s := range d.Stores {
+			r := s.Region()
+			_, err := d.System.Update(ctx, epochKey(r),
+				[]kv.Update{kv.ListAppend{Name: attrEpochList, Vals: []int64{f.wid}}}, nil)
+			if err != nil {
+				continue
+			}
+			epochs[r] = append(epochs[r], f.wid)
+		}
+		payload := watchPayload{
+			WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions,
+		}
+		fut := d.Platform.InvokeAsync(ctx, FnWatch, payload.encode())
+		comps = append(comps, watchCompletion{wid: f.wid, fut: fut})
+	}
+
+	// Notify the client of success.
+	t0 = d.K.Now()
+	d.notifyResult(msg, txid, CodeOK, stat)
+	d.recordPhase("leader.notify", d.K.Now()-t0)
+
+	// ➎ Pop the transaction from the node's pending list; once empty on a
+	// deleted node, garbage collect the tombstone.
+	t0 = d.K.Now()
+	key := nodeKey(msg.Path)
+	it, err := d.System.Update(ctx, key,
+		[]kv.Update{kv.ListPopHead{Name: attrPending}},
+		kv.NumListHeadEq{Name: attrPending, V: txid})
+	if err == nil && msg.Op == OpDelete {
+		after := decodeSysNode(it)
+		if !after.Exists && len(after.Pending) == 0 {
+			_ = d.System.Delete(ctx, key, kv.And{
+				kv.Eq{Name: attrExists, V: kv.N(0)},
+				kv.Eq{Name: attrPending, V: kv.NumList()},
+			})
+		}
+	}
+	d.recordPhase("leader.pop", d.K.Now()-t0)
+	return comps
+}
+
+// awaitCommit resolves the race between the push (③, which intentionally
+// precedes the commit ④) and the leader observing the transaction. It
+// polls the node's pending list, replays the commit on behalf of a
+// follower that appears to have died (➋), and clears orphaned pending
+// heads left behind by transactions the leader previously abandoned —
+// without this last step a single lost transaction would wedge the node's
+// pipeline forever.
+func (d *Deployment) awaitCommit(ctx cloud.Ctx, msg leaderMsg, txid int64) (sysNode, bool) {
+	const attempts = 10
+	triedCommit := false
+	for attempt := 0; attempt < attempts; attempt++ {
+		it, ok := d.System.Get(ctx, nodeKey(msg.Path), true)
+		if ok {
+			node := decodeSysNode(it)
+			if len(node.Pending) > 0 {
+				head := node.Pending[0]
+				if head == txid {
+					return node, true
+				}
+				if head < txid {
+					// Orphan from an abandoned transaction: pop and retry.
+					_, _ = d.System.Update(ctx, nodeKey(msg.Path),
+						[]kv.Update{kv.ListPopHead{Name: attrPending}},
+						kv.NumListHeadEq{Name: attrPending, V: head})
+					continue
+				}
+				// head > txid: our entry was already consumed (a duplicate
+				// delivery after a retry); treat as not committed.
+				return sysNode{}, false
+			}
+		}
+		// Nothing pending: the follower's commit may still be in flight,
+		// or the follower died after pushing. After a short grace period,
+		// replay the commit ourselves (➋); whichever of the two
+		// conditional commits lands first wins and the next poll decides.
+		if attempt >= 2 && !triedCommit {
+			triedCommit = true
+			d.tryCommit(ctx, msg, txid)
+			continue
+		}
+		d.K.Sleep(sim.Time(attempt+1) * 2 * sim.Ms(1))
+	}
+	return sysNode{}, false
+}
+
+// tryCommit replays the follower's conditional commit using the lock
+// timestamps carried in the message. It only succeeds while the original
+// locks are still in place, which is exactly the crashed-follower window.
+func (d *Deployment) tryCommit(ctx cloud.Ctx, msg leaderMsg, txid int64) bool {
+	lockCond := func(ts int64) kv.Cond { return kv.Eq{Name: "lock", V: kv.N(ts)} }
+	switch msg.Op {
+	case OpSetData:
+		ups := []kv.Update{
+			kv.Set{Name: attrVersion, V: kv.N(int64(msg.Version))},
+			kv.Set{Name: attrMzxid, V: kv.N(txid)},
+			kv.ListAppend{Name: attrPending, Vals: []int64{txid}},
+			kv.Remove{Name: "lock"},
+		}
+		_, err := d.System.Update(ctx, nodeKey(msg.Path), ups, lockCond(msg.LockTs))
+		return err == nil
+	case OpCreate:
+		nodeUps := append(createNodeUpdates(txid, msg.EphOwner), kv.Remove{Name: "lock"})
+		parentUps := append(createParentUpdates(msg.ChildAdd, txid), kv.Remove{Name: "lock"})
+		err := d.System.Transact(ctx, []kv.TxOp{
+			{Key: nodeKey(msg.Path), Updates: nodeUps, Cond: lockCond(msg.LockTs)},
+			{Key: nodeKey(msg.ParentPath), Updates: parentUps, Cond: lockCond(msg.ParentLockTs)},
+		})
+		return err == nil
+	case OpDelete:
+		nodeUps := append(deleteNodeUpdates(txid), kv.Remove{Name: "lock"})
+		parentUps := append(deleteParentUpdates(msg.ChildDel, txid), kv.Remove{Name: "lock"})
+		err := d.System.Transact(ctx, []kv.TxOp{
+			{Key: nodeKey(msg.Path), Updates: nodeUps, Cond: lockCond(msg.LockTs)},
+			{Key: nodeKey(msg.ParentPath), Updates: parentUps, Cond: lockCond(msg.ParentLockTs)},
+		})
+		return err == nil
+	}
+	return false
+}
+
+// updateUserStores writes the change to every region in parallel and
+// returns the client-visible Stat.
+func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, node sysNode, epochs map[cloud.Region][]int64) znode.Stat {
+	var newNode *znode.Node
+	if msg.Op != OpDelete {
+		n, _, err := znode.Unmarshal(msg.NodeBlob)
+		if err != nil {
+			return znode.Stat{}
+		}
+		// Patch the transaction stamps only the leader knows. The version
+		// comes from the message, not from the system store: with
+		// pipelined writes the store may already reflect later commits.
+		n.Stat.Mzxid = txid
+		n.Stat.Version = msg.Version
+		n.Stat.Czxid = node.Czxid
+		if msg.Op == OpCreate {
+			n.Stat.Czxid = txid
+			n.Stat.Version = 0
+		}
+		n.Stat.Cversion = node.Cversion
+		n.Stat.Pzxid = node.Pzxid
+		n.Stat.DataLength = int32(len(n.Data))
+		n.Children = node.Children
+		n.Stat.NumChildren = int32(len(node.Children))
+		newNode = n
+	}
+
+	wg := sim.NewWaitGroup(d.K)
+	for _, s := range d.Stores {
+		s := s
+		wg.Add(1)
+		d.K.Go("leader-update-"+string(s.Region()), func() {
+			defer wg.Done()
+			stamp := epochs[s.Region()]
+			switch msg.Op {
+			case OpDelete:
+				_ = s.Delete(ctx, msg.Path)
+			default:
+				_ = s.Write(ctx, newNode, stamp)
+			}
+			// Creates and deletes also change the parent's child list,
+			// which lives in the parent's node object: a read-modify-write
+			// cycle, because object stores lack partial updates
+			// (Section 3.2, Requirement #6).
+			if msg.ParentPath != "" {
+				parent, _, err := s.Read(ctx, msg.ParentPath)
+				if err != nil {
+					return
+				}
+				if msg.ChildAdd != "" {
+					parent.Children = append(parent.Children, msg.ChildAdd)
+				}
+				if msg.ChildDel != "" {
+					parent.Children = removeString(parent.Children, msg.ChildDel)
+				}
+				parent.Stat.Cversion = msg.Cversion
+				parent.Stat.Pzxid = txid
+				parent.Stat.NumChildren = int32(len(parent.Children))
+				_ = s.Write(ctx, parent, stamp)
+			}
+		})
+	}
+	wg.Wait()
+
+	var stat znode.Stat
+	if newNode != nil {
+		stat = newNode.Stat
+	}
+	return stat
+}
+
+type firedWatch struct {
+	wid      int64
+	event    EventType
+	path     string
+	sessions []string
+}
+
+// queryWatches reads the watch registrations touched by this operation and
+// clears the fired (one-shot) groups.
+func (d *Deployment) queryWatches(ctx cloud.Ctx, msg leaderMsg) []firedWatch {
+	var fired []firedWatch
+	collect := func(path string, pairs []struct {
+		attr  string
+		wt    WatchType
+		event EventType
+	}) {
+		it, ok := d.System.Get(ctx, watchKey(path), true)
+		if !ok {
+			return
+		}
+		var clear []kv.Update
+		for _, p := range pairs {
+			sessions := it[p.attr].SL
+			if len(sessions) == 0 {
+				continue
+			}
+			fired = append(fired, firedWatch{
+				wid:      WatchID(path, p.wt),
+				event:    p.event,
+				path:     path,
+				sessions: append([]string(nil), sessions...),
+			})
+			clear = append(clear, kv.Remove{Name: p.attr})
+		}
+		if len(clear) > 0 {
+			_, _ = d.System.Update(ctx, watchKey(path), clear, nil)
+		}
+	}
+	type pair = struct {
+		attr  string
+		wt    WatchType
+		event EventType
+	}
+	switch msg.Op {
+	case OpSetData:
+		collect(msg.Path, []pair{{attrWatchData, WatchData, EventDataChanged}})
+	case OpCreate:
+		collect(msg.Path, []pair{{attrWatchExists, WatchExists, EventCreated}})
+		collect(msg.ParentPath, []pair{{attrWatchChild, WatchChild, EventChildrenChanged}})
+	case OpDelete:
+		collect(msg.Path, []pair{
+			{attrWatchData, WatchData, EventDeleted},
+			{attrWatchExists, WatchExists, EventDeleted},
+		})
+		collect(msg.ParentPath, []pair{{attrWatchChild, WatchChild, EventChildrenChanged}})
+	}
+	return fired
+}
+
+func (d *Deployment) notifyResult(msg leaderMsg, txid int64, code Code, stat znode.Stat) {
+	resp := Response{
+		Session: msg.Session, Seq: msg.Seq, Code: code, Path: msg.Path,
+		Stat: stat, Txid: txid,
+	}
+	d.notify(msg.Session, resp, resp.wireSize())
+}
+
+func removeString(ss []string, s string) []string {
+	out := ss[:0:0]
+	for _, x := range ss {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func removeID(ids []int64, id int64) []int64 {
+	out := ids[:0:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/znode"
+)
+
+// System-store key prefixes and attribute names. One DynamoDB-like table
+// holds four kinds of items (Section 3.3): per-node control records (lock
+// timestamp, committed metadata, pending transactions), session records,
+// watch registrations, and the region epoch counters.
+const (
+	nodeKeyPrefix    = "node:"
+	sessionKeyPrefix = "session:"
+	watchKeyPrefix   = "watch:"
+	epochKeyPrefix   = "epoch:"
+
+	attrExists   = "exists"
+	attrVersion  = "version"
+	attrCversion = "cversion"
+	attrCzxid    = "czxid"
+	attrMzxid    = "mzxid"
+	attrPzxid    = "pzxid"
+	attrChildren = "children"
+	attrEph      = "eph"
+	attrSeq      = "seq"
+	attrPending  = "pending"
+
+	attrSessionEph  = "eph"
+	attrSessionReg  = "reg"
+	attrSessionAddr = "addr"
+
+	attrWatchData   = "w_data"
+	attrWatchExists = "w_exists"
+	attrWatchChild  = "w_child"
+
+	attrEpochList = "w"
+)
+
+func nodeKey(path string) string     { return nodeKeyPrefix + path }
+func sessionKey(id string) string    { return sessionKeyPrefix + id }
+func watchKey(path string) string    { return watchKeyPrefix + path }
+func epochKey(r cloud.Region) string { return epochKeyPrefix + string(r) }
+
+// sysNode is the decoded view of a per-node system item.
+type sysNode struct {
+	Exists   bool
+	Version  int32
+	Cversion int32
+	Czxid    int64
+	Mzxid    int64
+	Pzxid    int64
+	Children []string
+	EphOwner string
+	SeqCtr   int64
+	Pending  []int64
+}
+
+func decodeSysNode(it kv.Item) sysNode {
+	if it == nil {
+		return sysNode{}
+	}
+	return sysNode{
+		Exists:   it[attrExists].Num == 1,
+		Version:  int32(it[attrVersion].Num),
+		Cversion: int32(it[attrCversion].Num),
+		Czxid:    it[attrCzxid].Num,
+		Mzxid:    it[attrMzxid].Num,
+		Pzxid:    it[attrPzxid].Num,
+		Children: it[attrChildren].SL,
+		EphOwner: it[attrEph].Str,
+		SeqCtr:   it[attrSeq].Num,
+		Pending:  it[attrPending].NL,
+	}
+}
+
+// hasChild reports whether the child name is present.
+func (s sysNode) hasChild(name string) bool {
+	for _, c := range s.Children {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// toZNode builds the client-visible node from system metadata plus data.
+func (s sysNode) toZNode(path string, data []byte) *znode.Node {
+	return &znode.Node{
+		Path: path,
+		Data: data,
+		Stat: znode.Stat{
+			Czxid:       s.Czxid,
+			Mzxid:       s.Mzxid,
+			Pzxid:       s.Pzxid,
+			Version:     s.Version,
+			Cversion:    s.Cversion,
+			Ephemeral:   s.EphOwner != "",
+			Owner:       s.EphOwner,
+			DataLength:  int32(len(data)),
+			NumChildren: int32(len(s.Children)),
+		},
+		Children: append([]string(nil), s.Children...),
+	}
+}

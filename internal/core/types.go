@@ -1,0 +1,267 @@
+// Package core implements FaaSKeeper itself — the paper's contribution: a
+// ZooKeeper-compatible coordination service built entirely from serverless
+// components. Write requests flow from per-session FIFO queues through
+// concurrently operating follower functions (Algorithm 1) into a single
+// global FIFO queue feeding the leader function (Algorithm 2), which
+// distributes committed changes to the user-visible store, fires watch
+// notifications through a free watch function, and a scheduled heartbeat
+// function prunes dead sessions. Reads never touch a function: clients
+// access the user store directly.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"faaskeeper/internal/znode"
+)
+
+// OpCode identifies a write operation flowing through the queues.
+type OpCode string
+
+// Write operations.
+const (
+	OpCreate     OpCode = "create"
+	OpSetData    OpCode = "set_data"
+	OpDelete     OpCode = "delete"
+	OpDeregister OpCode = "deregister" // session close / eviction
+)
+
+// Code is the result of a write request, following ZooKeeper's error
+// vocabulary.
+type Code string
+
+// Result codes.
+const (
+	CodeOK            Code = "ok"
+	CodeNodeExists    Code = "node_exists"
+	CodeNoNode        Code = "no_node"
+	CodeBadVersion    Code = "bad_version"
+	CodeNotEmpty      Code = "not_empty"
+	CodeNoChildrenEph Code = "no_children_for_ephemerals"
+	CodeSystemError   Code = "system_error"
+	CodeTooLarge      Code = "too_large"
+)
+
+// Client-facing errors corresponding to result codes.
+var (
+	ErrNodeExists    = errors.New("faaskeeper: node already exists")
+	ErrNoNode        = errors.New("faaskeeper: node does not exist")
+	ErrBadVersion    = errors.New("faaskeeper: version mismatch")
+	ErrNotEmpty      = errors.New("faaskeeper: node has children")
+	ErrNoChildrenEph = errors.New("faaskeeper: ephemeral nodes cannot have children")
+	ErrSystemError   = errors.New("faaskeeper: system error")
+	ErrTooLarge      = errors.New("faaskeeper: node data too large")
+	ErrSessionClosed = errors.New("faaskeeper: session closed")
+)
+
+// CodeError converts a result code to the client-facing error (nil for OK).
+func CodeError(c Code) error {
+	switch c {
+	case CodeOK:
+		return nil
+	case CodeNodeExists:
+		return ErrNodeExists
+	case CodeNoNode:
+		return ErrNoNode
+	case CodeBadVersion:
+		return ErrBadVersion
+	case CodeNotEmpty:
+		return ErrNotEmpty
+	case CodeNoChildrenEph:
+		return ErrNoChildrenEph
+	case CodeTooLarge:
+		return ErrTooLarge
+	default:
+		return fmt.Errorf("%w: %s", ErrSystemError, c)
+	}
+}
+
+// Request is a client write request, serialized into the session queue.
+// The wire format is binary (gob): unlike JSON's base64 expansion, a
+// 250 kB payload stays within SQS's 256 kB message limit, which is exactly
+// how the paper sizes its maximum node (Section 4.4).
+type Request struct {
+	Session string
+	Seq     int64 // client-side FIFO sequence
+	Op      OpCode
+	Path    string
+	Data    []byte
+	Version int32 // expected version; -1 matches any
+	Flags   znode.Flags
+}
+
+// Encode serializes the request for the cloud queue.
+func (r Request) Encode() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		panic("core: request marshal: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// DecodeRequest parses a queue message body.
+func DecodeRequest(b []byte) (Request, error) {
+	var r Request
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r)
+	return r, err
+}
+
+// leaderMsg is the follower-to-leader message carrying a validated change
+// (step ③ of Algorithm 1). The queue's sequence number becomes the
+// transaction id.
+type leaderMsg struct {
+	Session string
+	Seq     int64
+	Op      OpCode
+	Path    string
+
+	NodeBlob []byte // marshaled znode (mzxid patched by leader)
+
+	ParentPath string
+	ChildAdd   string
+	ChildDel   string
+
+	LockTs       int64 // for the leader's TryCommit fallback
+	ParentLockTs int64
+
+	Version  int32 // node's new data version
+	Cversion int32 // parent's new child version
+
+	EphOwner string
+}
+
+func (m leaderMsg) encode() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic("core: leader msg marshal: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeLeaderMsg(b []byte) (leaderMsg, error) {
+	var m leaderMsg
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
+	return m, err
+}
+
+// Response is sent to the client over its notification connection: from
+// the leader on success, or directly from the follower on validation
+// failure.
+type Response struct {
+	Session string
+	Seq     int64
+	Code    Code
+	Path    string // created node name (create), else echo
+	Stat    znode.Stat
+	Txid    int64
+}
+
+// wireSize estimates the response's on-wire size for the network model.
+func (r Response) wireSize() int { return len(r.Path) + 96 }
+
+// WatchType distinguishes the three watch registrations ZooKeeper offers.
+type WatchType uint8
+
+// Watch types.
+const (
+	WatchData WatchType = iota + 1
+	WatchExists
+	WatchChild
+)
+
+func (w WatchType) String() string {
+	switch w {
+	case WatchData:
+		return "data"
+	case WatchExists:
+		return "exists"
+	case WatchChild:
+		return "child"
+	}
+	return "?"
+}
+
+// EventType describes what happened to a watched node.
+type EventType uint8
+
+// Watch event types.
+const (
+	EventDataChanged EventType = iota + 1
+	EventCreated
+	EventDeleted
+	EventChildrenChanged
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventDataChanged:
+		return "data_changed"
+	case EventCreated:
+		return "created"
+	case EventDeleted:
+		return "deleted"
+	case EventChildrenChanged:
+		return "children_changed"
+	}
+	return "?"
+}
+
+// WatchID derives the stable identifier of a watch group (path, type).
+// Both the client library and the leader compute it independently, so the
+// id never needs an extra storage round trip; these are the identifiers
+// carried in the epoch counters (Section 3.4).
+func WatchID(path string, wt WatchType) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	h.Write([]byte{0, byte(wt)})
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// Notification is a watch event pushed to clients by the watch function.
+type Notification struct {
+	WatchID int64
+	Event   EventType
+	Path    string
+	Txid    int64
+}
+
+func (n Notification) wireSize() int { return len(n.Path) + 40 }
+
+// Ping is the heartbeat probe; clients answer with Pong on their session
+// connection.
+type Ping struct {
+	Nonce int64
+}
+
+// Pong is the client's heartbeat reply.
+type Pong struct {
+	Session string
+	Nonce   int64
+}
+
+// watchPayload is the free watch function's invocation payload.
+type watchPayload struct {
+	WatchID  int64
+	Event    EventType
+	Path     string
+	Txid     int64
+	Sessions []string
+}
+
+func (p watchPayload) encode() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		panic("core: watch payload marshal: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeWatchPayload(b []byte) (watchPayload, error) {
+	var p watchPayload
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p)
+	return p, err
+}

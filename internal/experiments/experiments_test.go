@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"tab1", "fig4a", "fig4b", "fig5", "tab6a", "fig6b",
+		"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
+		"tab3", "fig11", "fig12", "fig13", "tab4", "fig14", "sec532x",
+		"ablations",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registered %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+	if len(IDs()) != len(want) {
+		t.Error("IDs incomplete")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := &Report{ID: "x", Title: "T", Ref: "Fig X"}
+	s := r.AddSection("cap", []string{"a", "bb"})
+	s.AddRow("1", "2")
+	s.AddRow("333", "4")
+	r.Note("note %d", 7)
+	out := r.Render()
+	for _, want := range []string{"=== x — T (Fig X) ===", "cap", "a", "bb", "333", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// runQuick executes an experiment in quick mode and sanity-checks the
+// report structure.
+func runQuick(t *testing.T, id string) *Report {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	rep := e.Run(RunConfig{Seed: 42, Quick: true})
+	if rep == nil {
+		t.Fatalf("%s returned nil report", id)
+	}
+	if len(rep.Sections) == 0 {
+		t.Fatalf("%s has no sections", id)
+	}
+	for _, s := range rep.Sections {
+		if len(s.Rows) == 0 {
+			t.Fatalf("%s section %q has no rows", id, s.Caption)
+		}
+		for _, row := range s.Rows {
+			if len(row) == 0 {
+				t.Fatalf("%s has an empty row", id)
+			}
+		}
+	}
+	if out := rep.Render(); len(out) < 50 {
+		t.Fatalf("%s render too short", id)
+	}
+	return rep
+}
+
+func TestTab1AndTab4AndFig4aAndFig14(t *testing.T) {
+	runQuick(t, "tab1")
+	rep := runQuick(t, "tab4")
+	found := false
+	for _, s := range rep.Sections {
+		for _, row := range s.Rows {
+			if row[0] == "writes (standard)" && strings.HasPrefix(row[1], "$1.1") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("tab4 worked example for standard writes not ~$1.12")
+	}
+	runQuick(t, "fig4a")
+	rep14 := runQuick(t, "fig14")
+	if len(rep14.Sections) != 3 {
+		t.Errorf("fig14 should have 3 read-mix panels, got %d", len(rep14.Sections))
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	rep := runQuick(t, "fig4b")
+	// S3 section: cross-region read at 1 kB must exceed local read by >100ms.
+	s3 := rep.Sections[0]
+	first := s3.Rows[0]
+	local, _ := strconv.ParseFloat(first[2], 64)
+	cross, _ := strconv.ParseFloat(first[4], 64)
+	if cross-local < 100 {
+		t.Errorf("cross-region penalty too small: %v vs %v", cross, local)
+	}
+}
+
+func TestTab6aShape(t *testing.T) {
+	rep := runQuick(t, "tab6a")
+	rows := rep.Sections[0].Rows
+	vals := map[string]float64{}
+	for _, row := range rows {
+		p50, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad p50 in %v", row)
+		}
+		vals[row[0]+"/"+row[1]] = p50
+	}
+	if vals["Timed lock acquire/1kB"] <= vals["Regular DynamoDB write/1kB"] {
+		t.Error("lock acquire should cost more than a plain write")
+	}
+	if vals["Timed lock acquire/64kB"] < 5*vals["Timed lock acquire/1kB"] {
+		t.Error("64kB lock should be much slower than 1kB lock")
+	}
+	// Conditional surcharge ~2.5 ms at 1 kB.
+	d := vals["Timed lock acquire/1kB"] - vals["Regular DynamoDB write/1kB"]
+	if d < 1 || d > 6 {
+		t.Errorf("conditional surcharge = %.2f ms, want ~2.5", d)
+	}
+}
+
+func TestFig6bEfficiency(t *testing.T) {
+	rep := runQuick(t, "fig6b")
+	rows := rep.Sections[0].Rows
+	last := rows[len(rows)-1]
+	std, _ := strconv.ParseFloat(last[1], 64)
+	lck, _ := strconv.ParseFloat(last[3], 64)
+	if std == 0 || lck == 0 {
+		t.Fatalf("zero throughput: %v", last)
+	}
+	eff := lck / std
+	if eff < 0.7 || eff > 1.0 {
+		t.Errorf("locking efficiency = %.2f, want ~0.84", eff)
+	}
+}
+
+func TestFig7aOrderings(t *testing.T) {
+	rep := runQuick(t, "fig7a")
+	p50 := map[string]float64{}
+	for _, row := range rep.Sections[0].Rows {
+		if row[1] == "64B" {
+			v, _ := strconv.ParseFloat(row[3], 64)
+			p50[row[0]] = v
+		}
+	}
+	if !(p50["SQS FIFO"] < p50["Direct"]) {
+		t.Errorf("FIFO (%v) should beat direct (%v) at p50, as in the paper", p50["SQS FIFO"], p50["Direct"])
+	}
+	if !(p50["DynamoDB Stream"] > 4*p50["SQS FIFO"]) {
+		t.Errorf("streams (%v) should be far slower than FIFO (%v)", p50["DynamoDB Stream"], p50["SQS FIFO"])
+	}
+}
+
+func TestFig7bFIFOSaturates(t *testing.T) {
+	rep := runQuick(t, "fig7b")
+	rows := rep.Sections[0].Rows
+	last := rows[len(rows)-1] // 200 offered
+	fifo, _ := strconv.ParseFloat(last[3], 64)
+	std, _ := strconv.ParseFloat(last[1], 64)
+	if fifo > 160 {
+		t.Errorf("FIFO did not saturate: %v op/s at 200 offered", fifo)
+	}
+	if std < fifo {
+		t.Errorf("standard queue (%v) should outrun FIFO (%v)", std, fifo)
+	}
+}
+
+func TestFig8Orderings(t *testing.T) {
+	rep := runQuick(t, "fig8")
+	aws := rep.Sections[0]
+	row := aws.Rows[0] // smallest size
+	ddb, _ := strconv.ParseFloat(row[1], 64)
+	s3, _ := strconv.ParseFloat(row[2], 64)
+	redis, _ := strconv.ParseFloat(row[3], 64)
+	zkv, _ := strconv.ParseFloat(row[5], 64)
+	if !(redis < ddb && ddb < s3) {
+		t.Errorf("expected redis < ddb < s3 on small reads: %v %v %v", redis, ddb, s3)
+	}
+	if redis > 3*zkv+1 {
+		t.Errorf("in-memory store (%v ms) should be near ZooKeeper (%v ms)", redis, zkv)
+	}
+}
+
+func TestFig9Orderings(t *testing.T) {
+	rep := runQuick(t, "fig9")
+	lat := rep.Sections[0]
+	small := lat.Rows[0]
+	fk2048, _ := strconv.ParseFloat(small[3], 64)
+	zkv, _ := strconv.ParseFloat(small[4], 64)
+	if fk2048 < 5*zkv {
+		t.Errorf("FaaSKeeper writes (%v ms) should be much slower than ZooKeeper (%v ms)", fk2048, zkv)
+	}
+	if fk2048 < 40 || fk2048 > 400 {
+		t.Errorf("FK write median %v ms out of the paper's ballpark (~100 ms)", fk2048)
+	}
+	// Cost split: storage fraction 40-80%.
+	costs := rep.Sections[2]
+	for _, row := range costs.Rows {
+		sys := parsePct(row[2])
+		user := parsePct(row[3])
+		q := parsePct(row[1])
+		if sys+user+q < 35 || sys+user > 98 {
+			t.Errorf("storage+queue share out of band in %v", row)
+		}
+	}
+}
+
+func parsePct(s string) float64 {
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	return v
+}
+
+func TestFig10PushAndUpdateDominate(t *testing.T) {
+	rep := runQuick(t, "fig10")
+	// In every section, leader.update must be the largest leader phase at
+	// large sizes; follower.push significant.
+	found := false
+	for _, s := range rep.Sections {
+		if !strings.Contains(s.Caption, "250kB") {
+			continue
+		}
+		var update, get float64
+		for _, row := range s.Rows {
+			name := strings.TrimSpace(row[0])
+			if name == "leader.update" {
+				update, _ = strconv.ParseFloat(row[1], 64)
+			}
+			if name == "leader.get" {
+				get, _ = strconv.ParseFloat(row[1], 64)
+			}
+		}
+		if update > 0 && get > 0 {
+			found = true
+			if update < 3*get {
+				t.Errorf("leader.update (%v) should dominate leader.get (%v) at 250kB", update, get)
+			}
+		}
+	}
+	if !found {
+		t.Error("no 250kB leader section found")
+	}
+}
+
+func TestTab3TailsGrow(t *testing.T) {
+	rep := runQuick(t, "tab3")
+	for _, s := range rep.Sections {
+		for _, row := range s.Rows {
+			p50, _ := strconv.ParseFloat(row[2], 64)
+			p99, _ := strconv.ParseFloat(row[5], 64)
+			if p99 < p50 {
+				t.Errorf("p99 < p50 in %v", row)
+			}
+		}
+	}
+}
+
+func TestFig11HybridFaster(t *testing.T) {
+	rep := runQuick(t, "fig11")
+	rows := rep.Sections[0].Rows
+	for _, row := range rows {
+		hybrid, _ := strconv.ParseFloat(row[2], 64)   // 2048MB hybrid
+		standard, _ := strconv.ParseFloat(row[4], 64) // 2048MB standard
+		if hybrid >= standard {
+			t.Errorf("hybrid (%v) not faster than standard (%v) at %s", hybrid, standard, row[0])
+		}
+	}
+}
+
+func TestFig12GCPSlower(t *testing.T) {
+	rep := runQuick(t, "fig12")
+	if len(rep.Notes) == 0 || !strings.Contains(rep.Notes[0], "slower than AWS") {
+		t.Error("fig12 should note the GCP slowdown")
+	}
+}
+
+func TestFig13MemoryHelps(t *testing.T) {
+	rep := runQuick(t, "fig13")
+	execRows := rep.Sections[0].Rows
+	last := execRows[len(execRows)-1] // 64 clients
+	small, _ := strconv.ParseFloat(last[1], 64)
+	big, _ := strconv.ParseFloat(last[len(last)-1], 64)
+	if small <= big {
+		t.Errorf("128MB heartbeat (%v ms) should be slower than 2048MB (%v ms)", small, big)
+	}
+	costRows := rep.Sections[1].Rows
+	for _, row := range costRows {
+		for _, cell := range row[1:] {
+			c, err := strconv.ParseFloat(cell, 64)
+			if err != nil || c <= 0 || c > 2 {
+				t.Errorf("daily heartbeat cost %q out of range (cents)", cell)
+			}
+		}
+	}
+}
+
+func TestFig5ZooKeeperIdle(t *testing.T) {
+	rep := runQuick(t, "fig5")
+	rows := rep.Sections[0].Rows
+	for _, row := range rows[:len(rows)-1] { // skip setup row
+		util := parsePct(row[4])
+		if util > 3 {
+			t.Errorf("ZooKeeper utilization %v%% too high in %v", util, row)
+		}
+	}
+}
+
+func TestAblationsCloseTheGap(t *testing.T) {
+	rep := runQuick(t, "ablations")
+	rows := rep.Sections[0].Rows
+	parse := func(i, col int) float64 {
+		v, _ := strconv.ParseFloat(rows[i][col], 64)
+		return v
+	}
+	baseline := parse(0, 1)
+	combined := parse(len(rows)-2, 1)
+	zkRef := parse(len(rows)-1, 1)
+	if combined >= baseline/2 {
+		t.Errorf("combined ablation (%v ms) should cut the baseline (%v ms) by far more than half", combined, baseline)
+	}
+	if zkRef >= baseline {
+		t.Errorf("ZooKeeper reference (%v) should beat the serverless baseline (%v)", zkRef, baseline)
+	}
+}
+
+func TestSec532x(t *testing.T) {
+	rep := runQuick(t, "sec532x")
+	if len(rep.Sections) != 2 {
+		t.Fatalf("expected ARM and vCPU sections, got %d", len(rep.Sections))
+	}
+	rows := rep.Sections[1].Rows
+	small, _ := strconv.ParseFloat(strings.TrimPrefix(rows[0][2], "$"), 64)
+	full, _ := strconv.ParseFloat(strings.TrimPrefix(rows[1][2], "$"), 64)
+	if small >= full {
+		t.Errorf("0.33 vCPU cost ($%v) should be below 1 vCPU ($%v)", small, full)
+	}
+}

@@ -1,0 +1,438 @@
+// Package fkclient is the FaaSKeeper client library (Section 3.5),
+// modeled after kazoo's API. Reads go straight to cloud storage; writes
+// travel through the session's FIFO queue. Because the server-side event
+// coordination of ZooKeeper is gone, the client runs three background
+// workers — a request sender, a response receiver, and an orderer — that
+// together enforce the session's FIFO order, deliver watch callbacks in
+// order, and stall reads that would otherwise overtake an undelivered
+// watch notification (epoch counters + MRD, Section 3.4).
+package fkclient
+
+import (
+	"errors"
+	"time"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/core"
+	"faaskeeper/internal/sim"
+	"faaskeeper/internal/znode"
+)
+
+// ErrTimeout is returned when a request receives no response.
+var ErrTimeout = errors.New("fkclient: request timed out")
+
+// DefaultRequestTimeout bounds how long a write waits for its response.
+const DefaultRequestTimeout = 60 * time.Second
+
+// WatchCallback receives one-shot watch events.
+type WatchCallback func(core.Notification)
+
+// Client is one FaaSKeeper session.
+type Client struct {
+	d         *core.Deployment
+	id        string
+	ctx       cloud.Ctx
+	store     core.UserStore
+	transport *core.SessionTransport
+
+	submitQ   *sim.Queue[*pendingOp]
+	inbox     *sim.Queue[any]
+	callbacks *sim.Queue[func()]
+
+	nextSeq     int64
+	outstanding []int64                 // unreleased write seqs, FIFO
+	pending     map[int64]*pendingOp    // seq -> op
+	buffered    map[int64]core.Response // responses held for FIFO release
+	lastWrite   *sim.Future[core.Response]
+
+	mrd          int64 // newest txid across delivered notifications
+	maxSeenMzxid int64 // newest data this session has observed (Z3)
+
+	watches map[int64]*watchEntry
+
+	closed  bool
+	crashed bool
+}
+
+type pendingOp struct {
+	req  core.Request
+	done *sim.Future[core.Response]
+}
+
+type watchEntry struct {
+	wid       int64
+	path      string
+	wt        core.WatchType
+	cb        WatchCallback
+	delivered *sim.Future[core.Notification]
+}
+
+// Connect registers a new session and starts the client workers. It must
+// be called from inside a sim process.
+func Connect(d *core.Deployment, id string, region cloud.Region) (*Client, error) {
+	c := &Client{
+		d:         d,
+		id:        id,
+		ctx:       cloud.ClientCtx(region),
+		store:     d.StoreFor(region),
+		transport: d.Connect(id, region),
+		submitQ:   sim.NewQueue[*pendingOp](d.K),
+		inbox:     sim.NewQueue[any](d.K),
+		callbacks: sim.NewQueue[func()](d.K),
+		pending:   map[int64]*pendingOp{},
+		buffered:  map[int64]core.Response{},
+		watches:   map[int64]*watchEntry{},
+	}
+	if err := d.RegisterSession(c.ctx, id); err != nil {
+		return nil, err
+	}
+	d.K.Go("client-sender-"+id, c.senderLoop)
+	d.K.Go("client-responder-"+id, c.responderLoop)
+	d.K.Go("client-orderer-"+id, c.ordererLoop)
+	d.K.Go("client-events-"+id, c.callbackLoop)
+	return c, nil
+}
+
+// ID returns the session id.
+func (c *Client) ID() string { return c.id }
+
+// MRD returns the newest transaction id delivered through notifications.
+func (c *Client) MRD() int64 { return c.mrd }
+
+// MaxSeenMzxid returns the newest modification this session has read; it
+// never decreases (single system image, Z3).
+func (c *Client) MaxSeenMzxid() int64 { return c.maxSeenMzxid }
+
+// senderLoop is worker 1: serialize requests into the session queue, one
+// at a time, preserving the session's FIFO order.
+func (c *Client) senderLoop() {
+	for {
+		op, ok := c.submitQ.Pop()
+		if !ok {
+			return
+		}
+		if _, err := c.transport.Queue.Send(c.ctx, c.id, op.req.Encode()); err != nil {
+			op.done.TryComplete(core.Response{
+				Session: c.id, Seq: op.req.Seq, Code: core.CodeSystemError,
+			})
+		}
+	}
+}
+
+// responderLoop is worker 2: receive responses, notifications, and
+// heartbeat pings from the session connection.
+func (c *Client) responderLoop() {
+	for {
+		pkt, ok := c.transport.ClientEnd.Recv()
+		if !ok {
+			c.inbox.Close()
+			return
+		}
+		if c.crashed {
+			continue // a dead client reads nothing and answers nothing
+		}
+		switch v := pkt.Payload.(type) {
+		case core.Ping:
+			c.transport.ClientEnd.Send(core.Pong{Session: c.id, Nonce: v.Nonce}, 16)
+		default:
+			c.inbox.Push(pkt.Payload)
+		}
+	}
+}
+
+// ordererLoop is worker 3: release write responses in submission order and
+// deliver watch notifications in arrival order, updating the MRD.
+func (c *Client) ordererLoop() {
+	for {
+		m, ok := c.inbox.Pop()
+		if !ok {
+			c.callbacks.Close()
+			return
+		}
+		switch v := m.(type) {
+		case core.Response:
+			c.onResponse(v)
+		case core.Notification:
+			c.onNotification(v)
+		}
+	}
+}
+
+// callbackLoop runs user watch callbacks outside the orderer, so a
+// callback may itself issue reads and writes without deadlocking the
+// session (the callbacks still run in notification order).
+func (c *Client) callbackLoop() {
+	for {
+		fn, ok := c.callbacks.Pop()
+		if !ok {
+			return
+		}
+		fn()
+	}
+}
+
+func (c *Client) onResponse(r core.Response) {
+	if _, known := c.pending[r.Seq]; !known {
+		return // duplicate (a retried batch re-answered): first wins
+	}
+	if _, dup := c.buffered[r.Seq]; dup {
+		return
+	}
+	c.buffered[r.Seq] = r
+	// Release responses strictly in submission order (FIFO, Z1/Z2).
+	for len(c.outstanding) > 0 {
+		head := c.outstanding[0]
+		resp, ready := c.buffered[head]
+		if !ready {
+			return
+		}
+		delete(c.buffered, head)
+		c.outstanding = c.outstanding[1:]
+		op := c.pending[head]
+		delete(c.pending, head)
+		if resp.Code == core.CodeOK && resp.Stat.Mzxid > c.maxSeenMzxid {
+			c.maxSeenMzxid = resp.Stat.Mzxid
+		}
+		op.done.TryComplete(resp)
+	}
+}
+
+func (c *Client) onNotification(n core.Notification) {
+	if n.Txid > c.mrd {
+		c.mrd = n.Txid
+	}
+	entry, ok := c.watches[n.WatchID]
+	if !ok {
+		return
+	}
+	delete(c.watches, n.WatchID) // one-shot, as in ZooKeeper
+	entry.delivered.TryComplete(n)
+	if cb := entry.cb; cb != nil {
+		c.callbacks.Push(func() { cb(n) })
+	}
+}
+
+// submitWrite queues a request and returns its completion future.
+func (c *Client) submitWrite(op core.OpCode, path string, data []byte, version int32, flags znode.Flags) *sim.Future[core.Response] {
+	c.nextSeq++
+	seq := c.nextSeq
+	p := &pendingOp{
+		req: core.Request{
+			Session: c.id, Seq: seq, Op: op, Path: path,
+			Data: data, Version: version, Flags: flags,
+		},
+		done: sim.NewFuture[core.Response](c.d.K),
+	}
+	c.pending[seq] = p
+	c.outstanding = append(c.outstanding, seq)
+	c.lastWrite = p.done
+	c.submitQ.Push(p)
+	return p.done
+}
+
+func (c *Client) await(f *sim.Future[core.Response]) (core.Response, error) {
+	resp, ok := f.WaitTimeout(DefaultRequestTimeout)
+	if !ok {
+		return core.Response{}, ErrTimeout
+	}
+	return resp, core.CodeError(resp.Code)
+}
+
+// Create creates a node and returns its final path (which differs from the
+// requested path for sequential nodes).
+func (c *Client) Create(path string, data []byte, flags znode.Flags) (string, error) {
+	if err := c.check(path); err != nil {
+		return "", err
+	}
+	if len(data) > c.d.Cfg.MaxNodeB {
+		return "", core.ErrTooLarge
+	}
+	resp, err := c.await(c.submitWrite(core.OpCreate, path, data, -1, flags))
+	if err != nil {
+		return "", err
+	}
+	return resp.Path, nil
+}
+
+// SetData replaces a node's data; version -1 matches any version.
+func (c *Client) SetData(path string, data []byte, version int32) (znode.Stat, error) {
+	if err := c.check(path); err != nil {
+		return znode.Stat{}, err
+	}
+	if len(data) > c.d.Cfg.MaxNodeB {
+		return znode.Stat{}, core.ErrTooLarge
+	}
+	resp, err := c.await(c.submitWrite(core.OpSetData, path, data, version, 0))
+	return resp.Stat, err
+}
+
+// Delete removes a node; version -1 matches any version.
+func (c *Client) Delete(path string, version int32) error {
+	if err := c.check(path); err != nil {
+		return err
+	}
+	_, err := c.await(c.submitWrite(core.OpDelete, path, nil, version, 0))
+	return err
+}
+
+// GetData reads a node directly from the user store.
+func (c *Client) GetData(path string) ([]byte, znode.Stat, error) {
+	return c.GetDataW(path, nil)
+}
+
+// GetDataW reads a node and, when cb is non-nil, leaves a one-shot data
+// watch that fires on the next change or deletion.
+func (c *Client) GetDataW(path string, cb WatchCallback) ([]byte, znode.Stat, error) {
+	if err := c.check(path); err != nil {
+		return nil, znode.Stat{}, err
+	}
+	if cb != nil {
+		if err := c.registerWatch(path, core.WatchData, cb); err != nil {
+			return nil, znode.Stat{}, err
+		}
+	}
+	n, err := c.read(path)
+	if err != nil {
+		return nil, znode.Stat{}, err
+	}
+	return n.Data, n.Stat, nil
+}
+
+// Exists returns the node's Stat, or nil when the node does not exist.
+func (c *Client) Exists(path string) (*znode.Stat, error) {
+	return c.ExistsW(path, nil)
+}
+
+// ExistsW is Exists with an optional one-shot watch that fires when the
+// node is created, deleted, or modified.
+func (c *Client) ExistsW(path string, cb WatchCallback) (*znode.Stat, error) {
+	if err := c.check(path); err != nil {
+		return nil, err
+	}
+	if cb != nil {
+		if err := c.registerWatch(path, core.WatchExists, cb); err != nil {
+			return nil, err
+		}
+	}
+	n, err := c.read(path)
+	if errors.Is(err, core.ErrNoNode) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	stat := n.Stat
+	return &stat, nil
+}
+
+// GetChildren lists a node's children. The list is served from the node's
+// own metadata — one read, no scan (Section 4.2).
+func (c *Client) GetChildren(path string) ([]string, error) {
+	return c.GetChildrenW(path, nil)
+}
+
+// GetChildrenW is GetChildren with an optional one-shot child watch.
+func (c *Client) GetChildrenW(path string, cb WatchCallback) ([]string, error) {
+	if err := c.check(path); err != nil {
+		return nil, err
+	}
+	if cb != nil {
+		if err := c.registerWatch(path, core.WatchChild, cb); err != nil {
+			return nil, err
+		}
+	}
+	n, err := c.read(path)
+	if err != nil {
+		return nil, err
+	}
+	return n.SortedChildren(), nil
+}
+
+func (c *Client) registerWatch(path string, wt core.WatchType, cb WatchCallback) error {
+	wid, err := c.d.RegisterWatch(c.ctx, path, wt, c.id)
+	if err != nil {
+		return err
+	}
+	if _, exists := c.watches[wid]; exists {
+		// Same path+type watched twice: keep one entry, both callbacks via
+		// chaining would complicate ordering; latest callback wins, as the
+		// registration is idempotent server-side.
+		c.watches[wid].cb = cb
+		return nil
+	}
+	c.watches[wid] = &watchEntry{
+		wid: wid, path: path, wt: wt, cb: cb,
+		delivered: sim.NewFuture[core.Notification](c.d.K),
+	}
+	return nil
+}
+
+// read performs the direct storage read and applies the ordering gate.
+func (c *Client) read(path string) (*znode.Node, error) {
+	if c.closed {
+		return nil, core.ErrSessionClosed
+	}
+	// FIFO: a read issued after a write cannot return before it.
+	barrier := c.lastWrite
+	if barrier != nil && !barrier.Done() {
+		if _, ok := barrier.WaitTimeout(DefaultRequestTimeout); !ok {
+			return nil, ErrTimeout
+		}
+	}
+	n, stamp, err := c.store.Read(c.ctx, path)
+	if errors.Is(err, core.ErrUserNoNode) {
+		return nil, core.ErrNoNode
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Ordered notifications (Z4): if the node was committed while one of
+	// *our* watches was still being delivered, hold the result until that
+	// notification arrives. Updates older than the MRD are always safe.
+	if n.Stat.Mzxid >= c.mrd {
+		for _, wid := range stamp {
+			entry, mine := c.watches[wid]
+			if !mine || entry.delivered.Done() {
+				continue
+			}
+			if _, ok := entry.delivered.WaitTimeout(DefaultRequestTimeout); !ok {
+				return nil, ErrTimeout
+			}
+		}
+	}
+	if n.Stat.Mzxid > c.maxSeenMzxid {
+		c.maxSeenMzxid = n.Stat.Mzxid
+	}
+	return n, nil
+}
+
+func (c *Client) check(path string) error {
+	if c.closed {
+		return core.ErrSessionClosed
+	}
+	return znode.ValidatePath(path)
+}
+
+// Close deregisters the session (removing its ephemeral nodes through the
+// ordered write path) and stops the workers.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	fut := c.submitWrite(core.OpDeregister, znode.Root, nil, -1, 0)
+	_, err := c.await(fut)
+	c.closed = true
+	c.submitQ.Close()
+	c.transport.ClientEnd.Close()
+	c.d.ReleaseTransport(c.id)
+	return err
+}
+
+// Crash simulates a client process dying: workers stop responding to
+// heartbeats and the session is never deregistered — the scheduled
+// heartbeat function must evict it (Section 3.6).
+func (c *Client) Crash() {
+	c.crashed = true
+	c.closed = true
+	c.submitQ.Close()
+}

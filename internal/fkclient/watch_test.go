@@ -1,0 +1,156 @@
+package fkclient
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"faaskeeper/internal/core"
+	"faaskeeper/internal/sim"
+)
+
+// TestWatchReRegistrationFromCallback: callbacks run on the client's event
+// worker, so re-arming a watch (a synchronous system-store write) from
+// inside a callback must not deadlock the session.
+func TestWatchReRegistrationFromCallback(t *testing.T) {
+	run(t, 41, core.Config{}, func(k *sim.Kernel, d *core.Deployment) {
+		writer := mustConnect(t, d, "writer")
+		watcher := mustConnect(t, d, "watcher")
+		defer writer.Close()
+		defer watcher.Close()
+		writer.Create("/cfg", []byte("0"), 0)
+
+		events := 0
+		var arm func()
+		arm = func() {
+			_, _, err := watcher.GetDataW("/cfg", func(n core.Notification) {
+				events++
+				arm() // synchronous op from the callback
+			})
+			if err != nil {
+				t.Errorf("re-arm: %v", err)
+			}
+		}
+		arm()
+		for i := 1; i <= 3; i++ {
+			writer.SetData("/cfg", []byte{byte(i)}, -1)
+			k.Sleep(3 * time.Second)
+		}
+		if events != 3 {
+			t.Errorf("saw %d events, want 3 (re-registration broken)", events)
+		}
+	})
+}
+
+// TestManyWatchersSingleEvent: dozens of sessions watch one node; a single
+// update must notify every one of them through one watch-function fan-out.
+func TestManyWatchersSingleEvent(t *testing.T) {
+	run(t, 43, core.Config{}, func(k *sim.Kernel, d *core.Deployment) {
+		writer := mustConnect(t, d, "writer")
+		defer writer.Close()
+		writer.Create("/hot", nil, 0)
+
+		const n = 20
+		notified := 0
+		watchers := make([]*Client, n)
+		for i := range watchers {
+			w := mustConnect(t, d, fmt.Sprintf("w%d", i))
+			defer w.Close()
+			watchers[i] = w
+			w.GetDataW("/hot", func(core.Notification) { notified++ })
+		}
+		before := d.Platform.Function(core.FnWatch).Invocations()
+		writer.SetData("/hot", []byte("x"), -1)
+		k.Sleep(10 * time.Second)
+		if notified != n {
+			t.Errorf("notified %d of %d watchers", notified, n)
+		}
+		// One watch-group: a single watch-function invocation fans out to
+		// all sessions (Section 4.1, "Decoupling Watch Delivery").
+		if got := d.Platform.Function(core.FnWatch).Invocations() - before; got != 1 {
+			t.Errorf("watch function ran %d times, want 1", got)
+		}
+	})
+}
+
+// TestEpochCleanupAfterDelivery: once notifications are delivered, the
+// region epoch counter must drain back to empty, so later reads never
+// stall on stale watch ids.
+func TestEpochCleanupAfterDelivery(t *testing.T) {
+	run(t, 44, core.Config{}, func(k *sim.Kernel, d *core.Deployment) {
+		writer := mustConnect(t, d, "writer")
+		watcher := mustConnect(t, d, "watcher")
+		defer writer.Close()
+		defer watcher.Close()
+		writer.Create("/e", nil, 0)
+		watcher.GetDataW("/e", func(core.Notification) {})
+		writer.SetData("/e", []byte("x"), -1)
+		k.Sleep(10 * time.Second)
+		epoch, err := d.Epoch(watcher.ctx, d.Cfg.Profile.Home)
+		if err != nil {
+			t.Errorf("epoch: %v", err)
+		}
+		if len(epoch) != 0 {
+			t.Errorf("epoch not drained: %v", epoch)
+		}
+		// A subsequent read must be instantaneous (no stall).
+		t0 := k.Now()
+		if _, _, err := watcher.GetData("/e"); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if k.Now()-t0 > 100*time.Millisecond {
+			t.Errorf("read stalled %v after epoch drain", k.Now()-t0)
+		}
+	})
+}
+
+// TestDeleteFiresBothDataAndExistsWatches matches ZooKeeper semantics.
+func TestDeleteFiresBothDataAndExistsWatches(t *testing.T) {
+	run(t, 45, core.Config{}, func(k *sim.Kernel, d *core.Deployment) {
+		writer := mustConnect(t, d, "writer")
+		w1 := mustConnect(t, d, "w1")
+		w2 := mustConnect(t, d, "w2")
+		defer writer.Close()
+		defer w1.Close()
+		defer w2.Close()
+		writer.Create("/victim", nil, 0)
+		var got []core.EventType
+		w1.GetDataW("/victim", func(n core.Notification) { got = append(got, n.Event) })
+		w2.ExistsW("/victim", func(n core.Notification) { got = append(got, n.Event) })
+		writer.Delete("/victim", -1)
+		k.Sleep(5 * time.Second)
+		if len(got) != 2 {
+			t.Fatalf("events = %v", got)
+		}
+		for _, e := range got {
+			if e != core.EventDeleted {
+				t.Errorf("event = %v, want deleted", e)
+			}
+		}
+	})
+}
+
+// TestWatchAcrossSessionCloseIsDropped: a session that closes before its
+// watch fires simply never hears about it; the system must not wedge.
+func TestWatchAcrossSessionCloseIsDropped(t *testing.T) {
+	run(t, 46, core.Config{}, func(k *sim.Kernel, d *core.Deployment) {
+		writer := mustConnect(t, d, "writer")
+		defer writer.Close()
+		ghost := mustConnect(t, d, "ghost")
+		writer.Create("/g", nil, 0)
+		fired := false
+		ghost.GetDataW("/g", func(core.Notification) { fired = true })
+		ghost.Close()
+		if _, err := writer.SetData("/g", []byte("x"), -1); err != nil {
+			t.Errorf("set after watcher close: %v", err)
+		}
+		k.Sleep(5 * time.Second)
+		if fired {
+			t.Error("closed session received a notification")
+		}
+		// The system keeps working for everyone else.
+		if _, err := writer.SetData("/g", []byte("y"), -1); err != nil {
+			t.Errorf("follow-up write: %v", err)
+		}
+	})
+}

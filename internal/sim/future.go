@@ -1,0 +1,157 @@
+package sim
+
+// Future is a one-shot value that processes can wait on. It is the
+// simulation counterpart of a channel receive with exactly one send.
+type Future[T any] struct {
+	k       *Kernel
+	done    bool
+	val     T
+	waiters []waiter
+}
+
+// NewFuture creates an incomplete future bound to kernel k.
+func NewFuture[T any](k *Kernel) *Future[T] {
+	return &Future[T]{k: k}
+}
+
+// Done reports whether the future has been completed.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Value returns the completed value; it is only meaningful once Done
+// reports true.
+func (f *Future[T]) Value() T { return f.val }
+
+// Complete resolves the future and wakes all waiters. Completing an
+// already-complete future panics: in the protocols built on top of futures
+// a double completion is always a bug.
+func (f *Future[T]) Complete(v T) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.val = v
+	for _, w := range f.waiters {
+		f.k.wake(w)
+	}
+	f.waiters = nil
+}
+
+// TryComplete resolves the future if it is not already resolved and reports
+// whether this call won.
+func (f *Future[T]) TryComplete(v T) bool {
+	if f.done {
+		return false
+	}
+	f.Complete(v)
+	return true
+}
+
+// Wait blocks the current process until the future completes and returns
+// its value. If the future is already complete it returns immediately
+// without yielding.
+func (f *Future[T]) Wait() T {
+	if !f.done {
+		p := f.k.current
+		f.waiters = append(f.waiters, f.k.waiterFor(p))
+		f.k.park()
+	}
+	return f.val
+}
+
+// WaitTimeout waits for at most d of virtual time. It returns the value and
+// true if the future completed, or the zero value and false on timeout.
+func (f *Future[T]) WaitTimeout(d Time) (T, bool) {
+	if !f.done {
+		p := f.k.current
+		w := f.k.waiterFor(p)
+		f.waiters = append(f.waiters, w)
+		f.k.wakeAt(f.k.now+d, w)
+		f.k.park()
+	}
+	if !f.done {
+		var zero T
+		return zero, false
+	}
+	return f.val, true
+}
+
+// WaitGroup waits for a collection of processes or operations to finish.
+type WaitGroup struct {
+	k       *Kernel
+	count   int
+	waiters []waiter
+}
+
+// NewWaitGroup creates a WaitGroup bound to kernel k.
+func NewWaitGroup(k *Kernel) *WaitGroup { return &WaitGroup{k: k} }
+
+// Add increments the outstanding-operation count by n.
+func (wg *WaitGroup) Add(n int) { wg.count += n }
+
+// Done decrements the count, waking waiters when it reaches zero.
+func (wg *WaitGroup) Done() {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: WaitGroup count below zero")
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiters {
+			wg.k.wake(w)
+		}
+		wg.waiters = nil
+	}
+}
+
+// Wait blocks until the count is zero.
+func (wg *WaitGroup) Wait() {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, wg.k.waiterFor(wg.k.current))
+		wg.k.park()
+	}
+}
+
+// Semaphore is a counting semaphore with FIFO wake-up order.
+type Semaphore struct {
+	k       *Kernel
+	permits int
+	waiters []waiter
+}
+
+// NewSemaphore creates a semaphore with the given number of permits.
+func NewSemaphore(k *Kernel, permits int) *Semaphore {
+	return &Semaphore{k: k, permits: permits}
+}
+
+// Acquire takes one permit, blocking while none are available.
+func (s *Semaphore) Acquire() {
+	for s.permits == 0 {
+		s.waiters = append(s.waiters, s.k.waiterFor(s.k.current))
+		s.k.park()
+	}
+	s.permits--
+}
+
+// TryAcquire takes a permit if one is free and reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.permits == 0 {
+		return false
+	}
+	s.permits--
+	return true
+}
+
+// Release returns one permit and wakes one waiter if any.
+func (s *Semaphore) Release() {
+	s.permits++
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.seq == w.p.parkSeq && !w.p.done { // still parked on us
+			s.k.wake(w)
+			return
+		}
+	}
+}
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.permits }

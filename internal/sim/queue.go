@@ -1,0 +1,127 @@
+package sim
+
+// Queue is an unbounded FIFO channel between simulation processes. Pushes
+// never block; Pops block while the queue is empty.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []waiter
+	closed  bool
+}
+
+// NewQueue creates an empty queue bound to kernel k.
+func NewQueue[T any](k *Kernel) *Queue[T] { return &Queue[T]{k: k} }
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v and wakes one blocked popper, if any.
+func (q *Queue[T]) Push(v T) {
+	if q.closed {
+		panic("sim: push on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// Close marks the queue closed: blocked and future Pops return ok=false
+// once the buffer drains.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	for _, w := range q.waiters {
+		q.k.wake(w)
+	}
+	q.waiters = nil
+}
+
+func (q *Queue[T]) wakeOne() {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.seq == w.p.parkSeq && !w.p.done {
+			q.k.wake(w)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the head item, blocking while the queue is empty.
+// It returns ok=false only if the queue is closed and drained.
+func (q *Queue[T]) Pop() (T, bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.waiters = append(q.waiters, q.k.waiterFor(q.k.current))
+		q.k.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	// If more items remain, keep the wake-up chain going for other poppers.
+	if len(q.items) > 0 {
+		q.wakeOne()
+	}
+	return v, true
+}
+
+// TryPop removes the head item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// PopTimeout waits at most d for an item. ok is false on timeout or close.
+func (q *Queue[T]) PopTimeout(d Time) (T, bool) {
+	deadline := q.k.now + d
+	for len(q.items) == 0 {
+		if q.closed || q.k.now >= deadline {
+			var zero T
+			return zero, false
+		}
+		w := q.k.waiterFor(q.k.current)
+		q.waiters = append(q.waiters, w)
+		q.k.wakeAt(deadline, w)
+		q.k.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.items) > 0 {
+		q.wakeOne()
+	}
+	return v, true
+}
+
+// PopBatch pops up to max items: it blocks for the first item, then keeps
+// collecting whatever is already buffered (and whatever arrives within
+// window, if window > 0) until max items are gathered. This mirrors how
+// cloud queue pollers assemble invocation batches.
+func (q *Queue[T]) PopBatch(max int, window Time) []T {
+	first, ok := q.Pop()
+	if !ok {
+		return nil
+	}
+	batch := []T{first}
+	deadline := q.k.now + window
+	for len(batch) < max {
+		if len(q.items) > 0 {
+			v, _ := q.TryPop()
+			batch = append(batch, v)
+			continue
+		}
+		if window <= 0 || q.k.now >= deadline {
+			break
+		}
+		v, ok := q.PopTimeout(deadline - q.k.now)
+		if !ok {
+			break
+		}
+		batch = append(batch, v)
+	}
+	return batch
+}

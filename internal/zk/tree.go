@@ -1,0 +1,210 @@
+package zk
+
+import (
+	"sort"
+
+	"faaskeeper/internal/znode"
+)
+
+// tree is one server's replica of the ZooKeeper data tree. The leader
+// keeps a second, speculative tree it mutates at proposal time, so
+// pipelined writes validate against the future state (the equivalent of
+// ZooKeeper's outstanding-changes list).
+type tree struct {
+	nodes map[string]*znode.Node
+	seq   map[string]int64    // per-parent sequential-node counters
+	eph   map[string][]string // session -> owned ephemeral paths
+}
+
+func newTree() *tree {
+	t := &tree{
+		nodes: map[string]*znode.Node{},
+		seq:   map[string]int64{},
+		eph:   map[string][]string{},
+	}
+	t.nodes[znode.Root] = &znode.Node{Path: znode.Root}
+	return t
+}
+
+func (t *tree) clone() *tree {
+	out := newTree()
+	for p, n := range t.nodes {
+		out.nodes[p] = n.Clone()
+	}
+	for p, s := range t.seq {
+		out.seq[p] = s
+	}
+	for s, paths := range t.eph {
+		out.eph[s] = append([]string(nil), paths...)
+	}
+	return out
+}
+
+func (t *tree) get(path string) (*znode.Node, bool) {
+	n, ok := t.nodes[path]
+	return n, ok
+}
+
+// validate checks a write request against the current (speculative) state
+// and, for creates, resolves the final sequential path and ephemeral
+// owner. It mirrors the semantics checks of the FaaSKeeper follower.
+func (t *tree) validate(session string, req request) (code Code, finalPath, owner string) {
+	switch req.Op {
+	case OpCreate:
+		parentPath := znode.Parent(req.Path)
+		parent, ok := t.nodes[parentPath]
+		if !ok {
+			return CodeNoNode, "", ""
+		}
+		if parent.Stat.Ephemeral {
+			return CodeNoChildrenEph, "", ""
+		}
+		finalPath = req.Path
+		if req.Flags&znode.FlagSequential != 0 {
+			finalPath = znode.SequentialName(req.Path, t.seq[parentPath])
+		}
+		if _, exists := t.nodes[finalPath]; exists {
+			return CodeNodeExists, "", ""
+		}
+		if req.Flags&znode.FlagEphemeral != 0 {
+			owner = session
+		}
+		return CodeOK, finalPath, owner
+	case OpSetData:
+		n, ok := t.nodes[req.Path]
+		if !ok {
+			return CodeNoNode, "", ""
+		}
+		if req.Version != -1 && req.Version != n.Stat.Version {
+			return CodeBadVersion, "", ""
+		}
+		return CodeOK, req.Path, ""
+	case OpDelete:
+		n, ok := t.nodes[req.Path]
+		if !ok {
+			return CodeNoNode, "", ""
+		}
+		if req.Version != -1 && req.Version != n.Stat.Version {
+			return CodeBadVersion, "", ""
+		}
+		if len(n.Children) > 0 {
+			return CodeNotEmpty, "", ""
+		}
+		return CodeOK, req.Path, ""
+	}
+	return CodeOK, req.Path, ""
+}
+
+// firedEvent describes a watch-relevant change produced by applying a txn.
+type firedEvent struct {
+	Type EventType
+	Path string
+}
+
+// apply mutates the tree with a committed transaction and returns the
+// node's resulting stat plus the watch events the change triggers.
+func (t *tree) apply(x *txn) (znode.Stat, []firedEvent) {
+	switch x.Type {
+	case txnCreate:
+		return t.applyCreate(x)
+	case txnSetData:
+		return t.applySetData(x)
+	case txnDelete:
+		return t.applyDelete(x)
+	case txnCloseSession:
+		return znode.Stat{}, t.applyCloseSession(x)
+	}
+	return znode.Stat{}, nil
+}
+
+func (t *tree) applyCreate(x *txn) (znode.Stat, []firedEvent) {
+	parentPath := znode.Parent(x.Path)
+	parent := t.nodes[parentPath]
+	n := &znode.Node{
+		Path: x.Path,
+		Data: append([]byte(nil), x.Data...),
+		Stat: znode.Stat{
+			Czxid: x.Zxid, Mzxid: x.Zxid, Pzxid: x.Zxid,
+			Ephemeral: x.Owner != "", Owner: x.Owner,
+			DataLength: int32(len(x.Data)),
+		},
+	}
+	t.nodes[x.Path] = n
+	parent.Children = append(parent.Children, znode.Base(x.Path))
+	parent.Stat.Cversion++
+	parent.Stat.Pzxid = x.Zxid
+	parent.Stat.NumChildren = int32(len(parent.Children))
+	t.seq[parentPath]++
+	if x.Owner != "" {
+		t.eph[x.Owner] = append(t.eph[x.Owner], x.Path)
+	}
+	return n.Stat, []firedEvent{
+		{EventCreated, x.Path},
+		{EventChildrenChanged, parentPath},
+	}
+}
+
+func (t *tree) applySetData(x *txn) (znode.Stat, []firedEvent) {
+	n, ok := t.nodes[x.Path]
+	if !ok {
+		return znode.Stat{}, nil
+	}
+	n.Data = append([]byte(nil), x.Data...)
+	n.Stat.Version++
+	n.Stat.Mzxid = x.Zxid
+	n.Stat.DataLength = int32(len(x.Data))
+	return n.Stat, []firedEvent{{EventDataChanged, x.Path}}
+}
+
+func (t *tree) applyDelete(x *txn) (znode.Stat, []firedEvent) {
+	n, ok := t.nodes[x.Path]
+	if !ok {
+		return znode.Stat{}, nil
+	}
+	parentPath := znode.Parent(x.Path)
+	parent := t.nodes[parentPath]
+	delete(t.nodes, x.Path)
+	if parent != nil {
+		kept := parent.Children[:0:0]
+		name := znode.Base(x.Path)
+		for _, c := range parent.Children {
+			if c != name {
+				kept = append(kept, c)
+			}
+		}
+		parent.Children = kept
+		parent.Stat.Cversion++
+		parent.Stat.Pzxid = x.Zxid
+		parent.Stat.NumChildren = int32(len(parent.Children))
+	}
+	if n.Stat.Owner != "" {
+		owned := t.eph[n.Stat.Owner][:0:0]
+		for _, p := range t.eph[n.Stat.Owner] {
+			if p != x.Path {
+				owned = append(owned, p)
+			}
+		}
+		t.eph[n.Stat.Owner] = owned
+	}
+	return n.Stat, []firedEvent{
+		{EventDeleted, x.Path},
+		{EventChildrenChanged, parentPath},
+	}
+}
+
+// applyCloseSession removes every ephemeral node the session owns, in
+// deterministic path order, and returns all fired events.
+func (t *tree) applyCloseSession(x *txn) []firedEvent {
+	paths := append([]string(nil), t.eph[x.SessionID]...)
+	sort.Strings(paths)
+	var events []firedEvent
+	for _, p := range paths {
+		if _, ok := t.nodes[p]; !ok {
+			continue
+		}
+		_, evs := t.applyDelete(&txn{Zxid: x.Zxid, Type: txnDelete, Path: p})
+		events = append(events, evs...)
+	}
+	delete(t.eph, x.SessionID)
+	return events
+}
