@@ -9,6 +9,7 @@ package faaskeeper
 //
 // and regenerate the full paper-style tables with cmd/fkrepro.
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -75,6 +76,9 @@ func BenchmarkSec532xResourceConfig(b *testing.B) { benchExperiment(b, "sec532x"
 
 // Section 6 requirement ablations (R1/R4, R6, R8).
 func BenchmarkAblationsRequirements(b *testing.B) { benchExperiment(b, "ablations") }
+
+// Sharded leader pipeline write scaling (beyond the paper).
+func BenchmarkShardingWriteScaling(b *testing.B) { benchExperiment(b, "sharding") }
 
 // --- micro-benchmarks of the implementation itself (real time) ---
 
@@ -161,6 +165,64 @@ func BenchmarkFKWritePath(b *testing.B) {
 		}
 		b.StopTimer()
 		virtual = k.Now()
+	})
+	k.Run()
+	k.Shutdown()
+	b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/op")
+}
+
+// BenchmarkFKShardedWritePath measures the sharded write pipeline: eight
+// concurrent sessions spread over four leader shards, reporting simulated
+// seconds per write so the speedup over BenchmarkFKWritePath's single
+// totally-ordered queue is directly visible.
+func BenchmarkFKShardedWritePath(b *testing.B) {
+	const sessions = 8
+	k := sim.NewKernel(1)
+	d := core.NewDeployment(k, core.Config{WriteShards: 4})
+	b.ReportAllocs()
+	var virtual time.Duration
+	k.Go("bench", func() {
+		clients := make([]*fkclient.Client, sessions)
+		paths := make([]string, sessions)
+		setup, err := fkclient.Connect(d, "setup", d.Cfg.Profile.Home)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range clients {
+			paths[i] = fmt.Sprintf("/bench%d", i)
+			if _, err := setup.Create(paths[i], nil, 0); err != nil {
+				b.Fatal(err)
+			}
+			c, err := fkclient.Connect(d, fmt.Sprintf("bench-%d", i), d.Cfg.Profile.Home)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients[i] = c
+		}
+		b.ResetTimer()
+		payload := make([]byte, 1024)
+		wg := sim.NewWaitGroup(k)
+		start := k.Now()
+		for i := range clients {
+			i := i
+			wg.Add(1)
+			k.Go(fmt.Sprintf("bench-writer-%d", i), func() {
+				defer wg.Done()
+				for op := i; op < b.N; op += sessions {
+					if _, err := clients[i].SetData(paths[i], payload, -1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		}
+		wg.Wait()
+		b.StopTimer()
+		virtual = k.Now() - start
+		for _, c := range clients {
+			c.Close()
+		}
+		setup.Close()
 	})
 	k.Run()
 	k.Shutdown()

@@ -122,6 +122,11 @@ type DeploymentOptions struct {
 	ExtraRegions []string
 	// CollectPhases records per-phase latency samples.
 	CollectPhases bool
+	// WriteShards partitions the leader write pipeline by znode subtree
+	// into N ordered queues with one serialized leader instance each.
+	// Default 1 — the paper-faithful single totally-ordered write path.
+	// See the exp "sharding" experiment for the scaling behavior.
+	WriteShards int
 }
 
 // Deployment is a running FaaSKeeper instance.
@@ -143,6 +148,7 @@ func (s *Simulation) DeployFaaSKeeper(opts DeploymentOptions) *Deployment {
 		LeaderMemMB:    opts.FunctionMemoryMB,
 		HeartbeatEvery: opts.HeartbeatEvery,
 		CollectPhases:  opts.CollectPhases,
+		WriteShards:    opts.WriteShards,
 	}
 	if opts.ARM {
 		cfg.Arch = faas.ARM

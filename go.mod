@@ -1,0 +1,3 @@
+module faaskeeper
+
+go 1.22

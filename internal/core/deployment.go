@@ -50,6 +50,12 @@ type Config struct {
 	// SQS message sizing; Section 4.4).
 	MaxNodeB int
 
+	// WriteShards partitions the leader pipeline by znode subtree: N
+	// ordered queues, each with one serialized leader instance and its own
+	// epoch counters. Default 1 — the paper's single totally-ordered
+	// write path. See ShardOf for the routing function.
+	WriteShards int
+
 	// CollectPhases enables per-phase latency sampling (Figures 9-12,
 	// Table 3).
 	CollectPhases bool
@@ -100,6 +106,9 @@ func (c *Config) defaults() {
 	if c.MaxNodeB <= 0 {
 		c.MaxNodeB = 250 * 1024
 	}
+	if c.WriteShards <= 0 {
+		c.WriteShards = 1
+	}
 }
 
 // Deployment is one running FaaSKeeper instance: storage, queues,
@@ -114,7 +123,10 @@ type Deployment struct {
 	Locks  *fksync.LockManager
 	Stores []UserStore // [0] is the home-region primary
 
-	LeaderQ *queue.Queue
+	// LeaderQs holds one ordered queue per write shard; LeaderQs[s] feeds
+	// shard s's serialized leader instance. A single-shard deployment has
+	// exactly the paper's one global queue.
+	LeaderQs []*queue.Queue
 
 	sessions map[string]*SessionTransport
 	phases   map[string]*stats.Sample
@@ -163,7 +175,10 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 		d.Stores = append(d.Stores, d.newUserStore(r))
 	}
 
-	d.LeaderQ = queue.New(env, "leader", cfg.Profile.OrderedQueueKind())
+	for s := 0; s < cfg.WriteShards; s++ {
+		d.LeaderQs = append(d.LeaderQs,
+			queue.New(env, leaderQueueName(s, cfg.WriteShards), cfg.Profile.OrderedQueueKind()))
+	}
 
 	d.Platform.Deploy(faas.Config{
 		Name: FnFollower, MemoryMB: cfg.FollowerMemMB, Arch: cfg.Arch, VCPU: cfg.VCPU,
@@ -180,8 +195,11 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 		Name: FnHeartbeat, MemoryMB: cfg.HeartbeatMemMB,
 	}, d.heartbeatHandler)
 
-	// One concurrent leader instance guarantees serialized commits (Z3).
-	d.Platform.AddQueueTrigger(d.LeaderQ, FnLeader, 1)
+	// One concurrent leader instance per shard guarantees serialized
+	// commits within a shard (Z3; a subtree never spans shards).
+	for _, q := range d.LeaderQs {
+		d.Platform.AddQueueTrigger(q, FnLeader, 1)
+	}
 
 	if cfg.HeartbeatEvery > 0 {
 		d.Platform.AddSchedule(FnHeartbeat, cfg.HeartbeatEvery)
@@ -360,12 +378,28 @@ func watchAttr(wt WatchType) string {
 	}
 }
 
-// Epoch returns the in-flight watch ids for a region (strongly consistent
-// system-store read; exposed for tests and the client library).
+// NumShards returns the number of write shards the leader pipeline is
+// partitioned into (1 in the paper's base configuration).
+func (d *Deployment) NumShards() int { return len(d.LeaderQs) }
+
+// Epoch returns the in-flight watch ids for a region, aggregated over all
+// write shards (strongly consistent system-store reads; exposed for tests
+// and the client library). The error is always nil, kept for API
+// stability.
 func (d *Deployment) Epoch(ctx cloud.Ctx, region cloud.Region) ([]int64, error) {
-	it, ok := d.System.Get(ctx, epochKey(region), true)
-	if !ok {
-		return nil, nil
+	var all []int64
+	for s := 0; s < d.NumShards(); s++ {
+		all = append(all, d.epochShard(ctx, region, s)...)
 	}
-	return it[attrEpochList].NL, nil
+	return all, nil
+}
+
+// epochShard reads one shard's epoch counter for a region (a missing item
+// means no in-flight watches).
+func (d *Deployment) epochShard(ctx cloud.Ctx, region cloud.Region, shard int) []int64 {
+	it, ok := d.System.Get(ctx, epochKey(region, shard), true)
+	if !ok {
+		return nil
+	}
+	return it[attrEpochList].NL
 }

@@ -353,6 +353,7 @@ func (d *Deployment) followerDeregister(ctx cloud.Ctx, req Request) error {
 		return nil
 	}
 	eph := append([]string(nil), item[attrSessionEph].SL...)
+	touched := map[int]bool{}
 	for _, path := range eph {
 		// Seq -1: these deletions produce no client-visible responses; the
 		// deregistration ack below covers them.
@@ -360,37 +361,79 @@ func (d *Deployment) followerDeregister(ctx cloud.Ctx, req Request) error {
 		if err := d.followerDelete(ctx, del); err != nil {
 			return err
 		}
+		touched[ShardOf(path, d.NumShards())] = true
 	}
 	if err := d.System.Delete(ctx, sessionKey(req.Session), nil); err != nil {
 		return fmt.Errorf("core: deregister: %w", err)
 	}
-	// Acknowledge through the leader queue: the FIFO order guarantees the
-	// ack reaches the client only after every ephemeral deletion above has
-	// been distributed to the user stores.
-	ack := leaderMsg{Session: req.Session, Seq: req.Seq, Op: OpDeregister}
-	_, err := d.pushToLeader(ctx, ack)
-	return err
+	if len(touched) == 0 {
+		touched[0] = true // no ephemerals: any single shard may ack
+	}
+	// Acknowledge through the leader queue of every shard that received a
+	// deletion: each shard's FIFO order puts the ack behind those
+	// deletions, and the shard completing the ack set answers the client —
+	// so the client sees the ack only after every deletion has been
+	// distributed.
+	// Multi-shard fanouts need an id: an atomic system-store counter
+	// (followers are stateless, so an in-memory counter would repeat after
+	// a restart and let stale markers of an abandoned fanout satisfy a new
+	// barrier). A fanout abandoned by a push failure leaves its barrier
+	// item behind; later fanouts ignore the stale markers (different id),
+	// so the only cost is bounded system-store garbage on an
+	// unreachable-in-practice path (acks are far below the queue limit).
+	var deregID int64
+	if len(touched) > 1 {
+		it, err := d.System.Update(ctx, deregSeqKey,
+			[]kv.Update{kv.Add{Name: attrDeregSeq, Delta: 1}}, nil)
+		if err != nil {
+			return fmt.Errorf("core: deregister id: %w", err)
+		}
+		deregID = it[attrDeregSeq].Num
+	}
+	for s := 0; s < d.NumShards(); s++ { // in shard order: determinism
+		if !touched[s] {
+			continue
+		}
+		ack := leaderMsg{
+			Session: req.Session, Seq: req.Seq, Op: OpDeregister,
+			Shard: s, Fanout: len(touched), DeregID: deregID,
+		}
+		if _, err := d.pushToShard(ctx, ack); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 var errMsgTooLarge = errors.New("core: leader message exceeds queue limit")
 
-// pushToLeader serializes the validated change into the global FIFO queue
-// (③). The returned sequence number is the transaction id: a single
-// ordered queue gives FaaSKeeper its total order of writes.
+// pushToLeader routes the validated change to its subtree's ordered queue
+// (③) and returns the transaction id. With one shard this is the paper's
+// single global FIFO queue and its total order of writes; with more, the
+// order is total per shard, which suffices because no operation spans
+// subtrees.
 func (d *Deployment) pushToLeader(ctx cloud.Ctx, msg leaderMsg) (int64, error) {
+	msg.Shard = ShardOf(msg.Path, d.NumShards())
+	return d.pushToShard(ctx, msg)
+}
+
+// pushToShard sends the message to the shard already set on it.
+func (d *Deployment) pushToShard(ctx cloud.Ctx, msg leaderMsg) (int64, error) {
 	t0 := d.K.Now()
-	txid, err := d.LeaderQ.Send(ctx, msg.Session, msg.encode())
+	seqNo, err := d.LeaderQs[msg.Shard].Send(ctx, msg.Session, msg.encode())
 	d.recordPhase("follower.push", d.K.Now()-t0)
 	if errors.Is(err, queue.ErrTooLarge) {
 		return 0, errMsgTooLarge
 	}
-	if err == nil && msg.Seq > 0 {
+	if err == nil && msg.Seq > 0 && msg.Op != OpDeregister {
 		// Once pushed, the leader will complete (or TryCommit) this
 		// request even if we crash right here — mark it processed so a
-		// queue retry does not apply it a second time.
+		// queue retry does not apply it a second time. Deregister acks are
+		// excluded: their fanout must complete as a whole before the
+		// request counts as processed (processRequest marks it then).
 		d.lastSeq[msg.Session] = msg.Seq
 	}
-	return txid, err
+	return shardTxid(seqNo, msg.Shard, d.NumShards()), err
 }
 
 func (d *Deployment) unlockAll(ctx cloud.Ctx, locks ...fksync.Lock) {

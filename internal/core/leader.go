@@ -1,9 +1,14 @@
 package core
 
 import (
+	"fmt"
+	"slices"
+	"strings"
+
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/faas"
 	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/fksync"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/znode"
 )
@@ -20,25 +25,75 @@ type watchCompletion struct {
 
 func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 	ctx := inv.Ctx
-	// Load the per-region epoch counters once per batch; they are
-	// maintained in the system store across invocations (functions are
-	// stateless) and mirrored here while the batch runs.
-	epochs := make(map[cloud.Region][]int64, len(d.Stores))
-	for _, s := range d.Stores {
-		e, err := d.Epoch(ctx, s.Region())
-		if err != nil {
-			return err
-		}
-		epochs[s.Region()] = e
+	// A batch comes from exactly one shard's queue; decoding is free, so
+	// peel the messages first to learn the shard.
+	type decoded struct {
+		msg  leaderMsg
+		txid int64
 	}
-	var completions []watchCompletion
+	msgs := make([]decoded, 0, len(inv.Messages))
+	shard := 0
+	acksOnly := true
 	for _, m := range inv.Messages {
 		msg, err := decodeLeaderMsg(m.Body)
 		if err != nil {
 			continue
 		}
+		shard = msg.Shard
+		if msg.Op != OpDeregister {
+			acksOnly = false
+		}
+		msgs = append(msgs, decoded{msg: msg, txid: shardTxid(m.SeqNo, msg.Shard, d.NumShards())})
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	// Load the per-region epoch counters once per batch; they are
+	// maintained in the system store across invocations (functions are
+	// stateless) and mirrored here while the batch runs. With several
+	// shards the per-region stamp is the union over every shard's list: a
+	// strongly consistent read at batch start sees every watch id whose
+	// notification causally precedes this batch's writes (the client that
+	// triggered a write observed its previous response only after the
+	// firing shard appended the id), so reads of any node still hold for
+	// undelivered cross-shard notifications (Z4). On a multi-shard
+	// deployment, batches of pure deregistration acks never touch epochs
+	// and skip the reads (the single-shard path keeps them so it stays
+	// operation-for-operation identical to the paper's pipeline).
+	epochs := make(map[cloud.Region][]int64, len(d.Stores))
+	if !acksOnly || d.NumShards() == 1 {
+		if n := d.NumShards(); n == 1 {
+			for _, s := range d.Stores {
+				epochs[s.Region()] = d.epochShard(ctx, s.Region(), shard)
+			}
+		} else {
+			cells := make([][]int64, len(d.Stores)*n)
+			wg := sim.NewWaitGroup(d.K)
+			for ri, s := range d.Stores {
+				r := s.Region()
+				for sh := 0; sh < n; sh++ {
+					ri, sh := ri, sh
+					wg.Add(1)
+					d.K.Go("leader-epoch-load", func() {
+						defer wg.Done()
+						cells[ri*n+sh] = d.epochShard(ctx, r, sh)
+					})
+				}
+			}
+			wg.Wait()
+			for ri, s := range d.Stores {
+				var union []int64
+				for sh := 0; sh < n; sh++ {
+					union = append(union, cells[ri*n+sh]...)
+				}
+				epochs[s.Region()] = union
+			}
+		}
+	}
+	var completions []watchCompletion
+	for _, dm := range msgs {
 		tTotal := d.K.Now()
-		comps := d.leaderProcess(ctx, msg, m.SeqNo, epochs)
+		comps := d.leaderProcess(ctx, dm.msg, dm.txid, epochs)
 		completions = append(completions, comps...)
 		d.recordPhase("leader.total", d.K.Now()-tTotal)
 	}
@@ -48,7 +103,7 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 		_ = c.fut.Wait()
 		for _, s := range d.Stores {
 			r := s.Region()
-			_, err := d.System.Update(ctx, epochKey(r),
+			_, err := d.System.Update(ctx, epochKey(r, shard),
 				[]kv.Update{kv.ListRemove{Name: attrEpochList, Vals: []int64{c.wid}}}, nil)
 			if err != nil {
 				return err
@@ -61,9 +116,9 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 
 func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epochs map[cloud.Region][]int64) []watchCompletion {
 	if msg.Op == OpDeregister {
-		// Deregistration ack: FIFO-ordered behind the session's ephemeral
-		// deletions, so Close() returns only after they are distributed.
-		d.notifyResult(msg, txid, CodeOK, znode.Stat{})
+		if d.deregAckComplete(ctx, msg) {
+			d.notifyResult(msg, txid, CodeOK, znode.Stat{})
+		}
 		return nil
 	}
 	// ➊ Fetch the node's control record and verify our transaction is the
@@ -77,27 +132,42 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 		return nil
 	}
 
+	// On a multi-shard deployment, watches are claimed and their ids
+	// entered into the epoch counters BEFORE the value is distributed:
+	// once another client can read the new value, the id is already
+	// visible to every shard's batch-start epoch union, so a write that
+	// causally follows that read — even on another shard — is stamped
+	// with the in-flight id and reads of it hold for the notification
+	// (Z4). The single-shard leader is serialized and keeps the paper's
+	// original distribute-then-query order.
+	preFire := d.NumShards() > 1
+	var fired []firedWatch
+	if preFire {
+		t0 = d.K.Now()
+		fired = d.queryWatches(ctx, msg)
+		d.appendEpochs(ctx, fired, msg.Shard, epochs)
+		d.recordPhase("leader.watchquery", d.K.Now()-t0)
+	}
+
 	// ➌ Distribute the change to the user stores of every region in
 	// parallel, stamped with that region's in-flight watch ids.
 	t0 = d.K.Now()
 	stat := d.updateUserStores(ctx, msg, txid, node, epochs)
 	d.recordPhase("leader.update", d.K.Now()-t0)
 
-	// ➍ Query watches and launch deliveries.
-	t0 = d.K.Now()
-	fired := d.queryWatches(ctx, msg)
-	d.recordPhase("leader.watchquery", d.K.Now()-t0)
+	// ➍ Query watches (if not pre-claimed above) and launch deliveries.
+	if !preFire {
+		t0 = d.K.Now()
+		fired = d.queryWatches(ctx, msg)
+		d.recordPhase("leader.watchquery", d.K.Now()-t0)
+	}
 
 	var comps []watchCompletion
 	for _, f := range fired {
-		for _, s := range d.Stores {
-			r := s.Region()
-			_, err := d.System.Update(ctx, epochKey(r),
-				[]kv.Update{kv.ListAppend{Name: attrEpochList, Vals: []int64{f.wid}}}, nil)
-			if err != nil {
-				continue
-			}
-			epochs[r] = append(epochs[r], f.wid)
+		if !preFire {
+			// The paper's interleaving: enter each id into the epoch
+			// counters right before launching its delivery.
+			d.appendEpochs(ctx, []firedWatch{f}, msg.Shard, epochs)
 		}
 		payload := watchPayload{
 			WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions,
@@ -129,6 +199,41 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 	}
 	d.recordPhase("leader.pop", d.K.Now()-t0)
 	return comps
+}
+
+// deregAckComplete processes one shard's deregistration ack and reports
+// whether the whole fanout is now complete (the caller then answers the
+// client). Each copy is FIFO-ordered behind the session's ephemeral
+// deletions on its shard, so completion implies every deletion has been
+// distributed. The barrier is a system-store item — functions are
+// stateless — holding "<deregID>/<shard>" markers: the atomic append is
+// idempotent under queue-retry redelivery (markers are counted as a set)
+// and markers from an abandoned earlier fanout carry a different id, so
+// they can never satisfy this one.
+func (d *Deployment) deregAckComplete(ctx cloud.Ctx, msg leaderMsg) bool {
+	if msg.Fanout <= 1 {
+		// Single-shard ack: the queue order alone is the barrier, exactly
+		// the paper's unsharded deregistration path.
+		return true
+	}
+	mark := fmt.Sprintf("%d/%d", msg.DeregID, msg.Shard)
+	it, err := d.System.Update(ctx, deregKey(msg.Session),
+		[]kv.Update{kv.StrListAppend{Name: attrDeregAcks, Vals: []string{mark}}}, nil)
+	if err != nil {
+		return false
+	}
+	prefix := fmt.Sprintf("%d/", msg.DeregID)
+	seen := map[string]bool{}
+	for _, m := range it[attrDeregAcks].SL {
+		if strings.HasPrefix(m, prefix) {
+			seen[m] = true
+		}
+	}
+	if len(seen) < msg.Fanout {
+		return false
+	}
+	_ = d.System.Delete(ctx, deregKey(msg.Session), nil)
+	return true
 }
 
 // awaitCommit resolves the race between the push (③, which intentionally
@@ -238,6 +343,29 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 		newNode = n
 	}
 
+	// A parent is colocated with its children on one shard — except the
+	// root, whose children span all shards; its update is serialized
+	// separately below. A data write to the root object itself must also
+	// hold the lock: a full-object write racing another shard's child
+	// splice would revert the child list. Under the lock the child list is
+	// refreshed from the system store, the source of truth.
+	sharedRoot := d.NumShards() > 1 && msg.ParentPath == znode.Root
+	if d.NumShards() > 1 && msg.Path == znode.Root && newNode != nil {
+		lock := d.acquireRootLock(ctx)
+		defer func() { _ = d.Locks.Release(ctx, lock) }()
+		if it, ok := d.System.Get(ctx, nodeKey(znode.Root), true); ok {
+			fresh := decodeSysNode(it)
+			newNode.Children = fresh.Children
+			newNode.Stat.NumChildren = int32(len(fresh.Children))
+			if fresh.Cversion > newNode.Stat.Cversion {
+				newNode.Stat.Cversion = fresh.Cversion
+			}
+			if fresh.Pzxid > newNode.Stat.Pzxid {
+				newNode.Stat.Pzxid = fresh.Pzxid
+			}
+		}
+	}
+
 	wg := sim.NewWaitGroup(d.K)
 	for _, s := range d.Stores {
 		s := s
@@ -255,31 +383,101 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 			// which lives in the parent's node object: a read-modify-write
 			// cycle, because object stores lack partial updates
 			// (Section 3.2, Requirement #6).
-			if msg.ParentPath != "" {
-				parent, _, err := s.Read(ctx, msg.ParentPath)
-				if err != nil {
-					return
-				}
-				if msg.ChildAdd != "" {
-					parent.Children = append(parent.Children, msg.ChildAdd)
-				}
-				if msg.ChildDel != "" {
-					parent.Children = removeString(parent.Children, msg.ChildDel)
-				}
-				parent.Stat.Cversion = msg.Cversion
-				parent.Stat.Pzxid = txid
-				parent.Stat.NumChildren = int32(len(parent.Children))
-				_ = s.Write(ctx, parent, stamp)
+			if msg.ParentPath != "" && !sharedRoot {
+				d.applyParentRMW(ctx, s, msg, txid, stamp)
 			}
 		})
 	}
 	wg.Wait()
+
+	if sharedRoot {
+		d.updateSharedRoot(ctx, msg, txid, epochs)
+	}
 
 	var stat znode.Stat
 	if newNode != nil {
 		stat = newNode.Stat
 	}
 	return stat
+}
+
+// applyParentRMW rebuilds the parent's user-store object in one region:
+// read, splice the child list, raise the stamps, write back.
+func (d *Deployment) applyParentRMW(ctx cloud.Ctx, s UserStore, msg leaderMsg, txid int64, stamp []int64) {
+	parent, _, err := s.Read(ctx, msg.ParentPath)
+	if err != nil {
+		return
+	}
+	// Append idempotently: a root data write may have refreshed the child
+	// list from the system store while this splice was queued.
+	if msg.ChildAdd != "" && !slices.Contains(parent.Children, msg.ChildAdd) {
+		parent.Children = append(parent.Children, msg.ChildAdd)
+	}
+	if msg.ChildDel != "" {
+		parent.Children = removeString(parent.Children, msg.ChildDel)
+	}
+	// Only raise the stamps: within a shard they are monotone anyway, and
+	// on the shared root two shards may apply their updates out of global
+	// txid order.
+	if msg.Cversion > parent.Stat.Cversion {
+		parent.Stat.Cversion = msg.Cversion
+	}
+	if txid > parent.Stat.Pzxid {
+		parent.Stat.Pzxid = txid
+	}
+	parent.Stat.NumChildren = int32(len(parent.Children))
+	_ = s.Write(ctx, parent, stamp)
+}
+
+// appendEpochs enters fired watch ids into the shard's per-region epoch
+// counters (and the batch's in-memory mirror).
+func (d *Deployment) appendEpochs(ctx cloud.Ctx, fired []firedWatch, shard int, epochs map[cloud.Region][]int64) {
+	for _, f := range fired {
+		for _, s := range d.Stores {
+			r := s.Region()
+			_, err := d.System.Update(ctx, epochKey(r, shard),
+				[]kv.Update{kv.ListAppend{Name: attrEpochList, Vals: []int64{f.wid}}}, nil)
+			if err != nil {
+				continue
+			}
+			epochs[r] = append(epochs[r], f.wid)
+		}
+	}
+}
+
+// acquireRootLock takes the system-store timed lock serializing every
+// write to the root's user-store object. It retries until acquired: the
+// lease makes the lock recoverable after a crash, and skipping a root
+// update would permanently corrupt the root's child listing.
+func (d *Deployment) acquireRootLock(ctx cloud.Ctx) fksync.Lock {
+	for {
+		l, _, err := d.Locks.AcquireWait(ctx, rootUpdateLockKey, 0)
+		if err == nil {
+			return l
+		}
+	}
+}
+
+// updateSharedRoot applies a top-level create/delete to the root's
+// user-store object in every region, serialized under the root lock (two
+// shards interleaving the read-modify-write would lose children). The
+// per-region stamps already hold the union of every shard's epoch list,
+// so an in-flight child-watch notification fired by any shard still holds
+// reads of the root (Z4).
+func (d *Deployment) updateSharedRoot(ctx cloud.Ctx, msg leaderMsg, txid int64, epochs map[cloud.Region][]int64) {
+	lock := d.acquireRootLock(ctx)
+	defer func() { _ = d.Locks.Release(ctx, lock) }()
+
+	wg := sim.NewWaitGroup(d.K)
+	for _, s := range d.Stores {
+		s := s
+		wg.Add(1)
+		d.K.Go("leader-root-"+string(s.Region()), func() {
+			defer wg.Done()
+			d.applyParentRMW(ctx, s, msg, txid, epochs[s.Region()])
+		})
+	}
+	wg.Wait()
 }
 
 type firedWatch struct {
@@ -290,7 +488,14 @@ type firedWatch struct {
 }
 
 // queryWatches reads the watch registrations touched by this operation and
-// clears the fired (one-shot) groups.
+// clears the fired (one-shot) groups. Root watch groups on a multi-shard
+// deployment are claimed with a conditional remove: two shard leaders may
+// race between the read and the clear there (the root is the only path
+// whose watches fire from more than one shard), and firing the same group
+// twice would consume a watch the client re-registered in its callback —
+// only the leader whose conditional clear lands gets to fire. Everywhere
+// else the owning shard's leader is serialized and keeps the paper's one
+// batched clear.
 func (d *Deployment) queryWatches(ctx cloud.Ctx, msg leaderMsg) []firedWatch {
 	var fired []firedWatch
 	collect := func(path string, pairs []struct {
@@ -308,13 +513,21 @@ func (d *Deployment) queryWatches(ctx cloud.Ctx, msg leaderMsg) []firedWatch {
 			if len(sessions) == 0 {
 				continue
 			}
+			if d.NumShards() > 1 && path == znode.Root {
+				_, err := d.System.Update(ctx, watchKey(path),
+					[]kv.Update{kv.Remove{Name: p.attr}}, kv.AttrExists{Name: p.attr})
+				if err != nil {
+					continue // another shard's leader claimed this group
+				}
+			} else {
+				clear = append(clear, kv.Remove{Name: p.attr})
+			}
 			fired = append(fired, firedWatch{
 				wid:      WatchID(path, p.wt),
 				event:    p.event,
 				path:     path,
 				sessions: append([]string(nil), sessions...),
 			})
-			clear = append(clear, kv.Remove{Name: p.attr})
 		}
 		if len(clear) > 0 {
 			_, _ = d.System.Update(ctx, watchKey(path), clear, nil)

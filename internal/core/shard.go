@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// The sharded write path partitions the leader pipeline by znode subtree:
+// instead of one global ordered queue feeding one serialized leader
+// instance, the deployment provisions WriteShards queues, each with its own
+// single-concurrency leader trigger and its own epoch counters. Requests
+// are routed by the top-level path segment, so a parent and all of its
+// descendants always share a shard and the per-shard total order is enough
+// for ZooKeeper's node-local invariants (sequential-node counters,
+// not-empty checks, per-node mzxid monotonicity). Only the tree root is
+// shared between shards; its user-store read-modify-write cycles are
+// serialized by a system-store timed lock (rootUpdateLockKey), and
+// session deregistration uses a system-store barrier item so the ack
+// orders behind ephemeral deletions on every shard. With WriteShards = 1
+// (the default) the pipeline collapses to the paper's single
+// totally-ordered queue.
+
+// ShardOf maps a znode path to its write shard among n shards: the FNV
+// hash of the top-level path segment modulo n. The root maps to shard 0.
+// The client library and the follower compute it independently, like
+// WatchID, so routing never needs a storage round trip.
+func ShardOf(path string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	seg := topSegment(path)
+	if seg == "" {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(seg))
+	return int(h.Sum32() % uint32(n))
+}
+
+// topSegment returns the first path segment ("" for the root).
+func topSegment(path string) string {
+	if len(path) < 2 || path[0] != '/' {
+		return ""
+	}
+	rest := path[1:]
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// shardTxid interleaves per-shard queue sequence numbers into globally
+// unique transaction ids: txid = seqNo*n + shard. Within a shard txids
+// stay strictly increasing (the property every per-node invariant relies
+// on), and with n = 1 the txid is exactly the queue sequence number, as in
+// the unsharded paper design.
+func shardTxid(seqNo int64, shard, n int) int64 {
+	return seqNo*int64(n) + int64(shard)
+}
+
+// leaderQueueName names a shard's ordered queue; the single-shard
+// deployment keeps the paper's original "leader" queue name.
+func leaderQueueName(shard, n int) string {
+	if n == 1 {
+		return "leader"
+	}
+	return fmt.Sprintf("leader-%d", shard)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"faaskeeper/internal/znode"
+)
+
+// TestShardOfParentChildColocated: the routing invariant everything rests
+// on — a node and every descendant map to the same shard, for any shard
+// count, so no create/delete/sequential-counter operation spans shards.
+func TestShardOfParentChildColocated(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	segs := []string{"a", "services", "locks", "config", "t17", "x-y_z", "0"}
+	for iter := 0; iter < 2000; iter++ {
+		// Build a random path of depth 1..5.
+		depth := 1 + r.Intn(5)
+		path := ""
+		for i := 0; i < depth; i++ {
+			path += "/" + segs[r.Intn(len(segs))] + fmt.Sprint(r.Intn(4))
+		}
+		for _, n := range []int{1, 2, 3, 4, 8, 16} {
+			got := ShardOf(path, n)
+			if got < 0 || got >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", path, n, got)
+			}
+			parent := znode.Parent(path)
+			if parent != znode.Root {
+				if p := ShardOf(parent, n); p != got {
+					t.Fatalf("parent %q on shard %d, child %q on shard %d (n=%d)",
+						parent, p, path, got, n)
+				}
+			}
+		}
+	}
+}
+
+// TestShardOfSingleShardAndRoot: the degenerate cases are pinned — one
+// shard routes everything to 0, and the root itself lives on shard 0.
+func TestShardOfSingleShardAndRoot(t *testing.T) {
+	for _, p := range []string{"/", "/a", "/a/b/c", "/deep/er/path"} {
+		if s := ShardOf(p, 1); s != 0 {
+			t.Errorf("ShardOf(%q, 1) = %d, want 0", p, s)
+		}
+	}
+	for _, n := range []int{1, 2, 8} {
+		if s := ShardOf(znode.Root, n); s != 0 {
+			t.Errorf("ShardOf(/, %d) = %d, want 0", n, s)
+		}
+	}
+}
+
+// TestShardOfDeterministicAndSpread: routing is a pure function (client
+// and follower compute it independently) and a modest number of subtrees
+// populates every shard.
+func TestShardOfDeterministicAndSpread(t *testing.T) {
+	if ShardOf("/a/b", 8) != ShardOf("/a/b", 8) {
+		t.Fatal("ShardOf not deterministic")
+	}
+	const n = 8
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[ShardOf(fmt.Sprintf("/t%d", i), n)] = true
+	}
+	if len(seen) != n {
+		t.Errorf("200 subtrees hit only %d of %d shards", len(seen), n)
+	}
+}
+
+// TestShardTxidUniqueAndOrdered: txids from different shards never
+// collide, stay strictly increasing within a shard, and collapse to the
+// raw queue sequence number in the single-shard configuration.
+func TestShardTxidUniqueAndOrdered(t *testing.T) {
+	const n = 8
+	seen := map[int64]bool{}
+	for shard := 0; shard < n; shard++ {
+		prev := int64(-1)
+		for seq := int64(1); seq <= 100; seq++ {
+			txid := shardTxid(seq, shard, n)
+			if seen[txid] {
+				t.Fatalf("txid %d collides (shard %d seq %d)", txid, shard, seq)
+			}
+			seen[txid] = true
+			if txid <= prev {
+				t.Fatalf("txid not increasing within shard %d: %d after %d", shard, txid, prev)
+			}
+			prev = txid
+		}
+	}
+	for seq := int64(1); seq <= 10; seq++ {
+		if shardTxid(seq, 0, 1) != seq {
+			t.Fatal("single-shard txid must equal the queue sequence number")
+		}
+	}
+}
+
+// TestDeploymentProvisionsShards: the deployment wires one ordered queue
+// per shard, keeps the paper's queue name for the single-shard layout, and
+// defaults to one shard.
+func TestDeploymentProvisionsShards(t *testing.T) {
+	_, d := newTestDeployment(11, Config{})
+	if d.NumShards() != 1 || d.LeaderQs[0].Name() != "leader" {
+		t.Fatalf("default deployment: %d shards, queue %q", d.NumShards(), d.LeaderQs[0].Name())
+	}
+	_, d4 := newTestDeployment(12, Config{WriteShards: 4})
+	if d4.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", d4.NumShards())
+	}
+	for i, q := range d4.LeaderQs {
+		if q.Name() != fmt.Sprintf("leader-%d", i) {
+			t.Errorf("shard %d queue named %q", i, q.Name())
+		}
+		if !q.Ordered() {
+			t.Errorf("shard %d queue not ordered", i)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/kv"
 	"faaskeeper/internal/znode"
@@ -15,6 +17,19 @@ const (
 	sessionKeyPrefix = "session:"
 	watchKeyPrefix   = "watch:"
 	epochKeyPrefix   = "epoch:"
+	deregKeyPrefix   = "dereg:"
+
+	// rootUpdateLockKey is the timed-lock item serializing cross-shard
+	// read-modify-write cycles on the root node's user-store object.
+	rootUpdateLockKey = "rootupdate"
+
+	// attrDeregAcks accumulates "<deregID>/<shard>" markers on the
+	// deregistration barrier item; deregSeqKey holds the system-store
+	// counter minting the ids (followers are stateless, so the id must
+	// survive restarts to keep abandoned-fanout markers distinguishable).
+	attrDeregAcks = "acks"
+	deregSeqKey   = "deregseq"
+	attrDeregSeq  = "n"
 
 	attrExists   = "exists"
 	attrVersion  = "version"
@@ -38,10 +53,17 @@ const (
 	attrEpochList = "w"
 )
 
-func nodeKey(path string) string     { return nodeKeyPrefix + path }
-func sessionKey(id string) string    { return sessionKeyPrefix + id }
-func watchKey(path string) string    { return watchKeyPrefix + path }
-func epochKey(r cloud.Region) string { return epochKeyPrefix + string(r) }
+func nodeKey(path string) string  { return nodeKeyPrefix + path }
+func sessionKey(id string) string { return sessionKeyPrefix + id }
+func watchKey(path string) string { return watchKeyPrefix + path }
+func deregKey(id string) string   { return deregKeyPrefix + id }
+
+// epochKey names the per-region, per-shard watch epoch counter. Each
+// leader shard keeps its own in-flight watch list, so shards never contend
+// on epoch bookkeeping.
+func epochKey(r cloud.Region, shard int) string {
+	return epochKeyPrefix + string(r) + "/" + strconv.Itoa(shard)
+}
 
 // sysNode is the decoded view of a per-node system item.
 type sysNode struct {

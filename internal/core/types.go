@@ -1,8 +1,10 @@
 // Package core implements FaaSKeeper itself — the paper's contribution: a
 // ZooKeeper-compatible coordination service built entirely from serverless
 // components. Write requests flow from per-session FIFO queues through
-// concurrently operating follower functions (Algorithm 1) into a single
-// global FIFO queue feeding the leader function (Algorithm 2), which
+// concurrently operating follower functions (Algorithm 1) into one of N
+// ordered leader queues — partitioned by znode subtree, a single global
+// queue in the paper's base configuration — each feeding a serialized
+// leader instance (Algorithm 2), which
 // distributes committed changes to the user-visible store, fires watch
 // notifications through a free watch function, and a scheduled heartbeat
 // function prunes dead sessions. Reads never touch a function: clients
@@ -118,6 +120,17 @@ type leaderMsg struct {
 	Seq     int64
 	Op      OpCode
 	Path    string
+
+	// Shard is the leader pipeline this message was routed to; txids are
+	// derived from the shard queue's sequence number via shardTxid.
+	Shard int
+	// Fanout is set on OpDeregister acks: the number of shards the ack was
+	// replicated to. The last shard to process its copy answers the client,
+	// so the ack still orders behind every ephemeral deletion on every
+	// shard the session touched. DeregID distinguishes this fanout from
+	// any earlier, abandoned deregistration of the same session id.
+	Fanout  int
+	DeregID int64
 
 	NodeBlob []byte // marshaled znode (mzxid patched by leader)
 

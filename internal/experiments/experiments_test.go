@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab1", "fig4a", "fig4b", "fig5", "tab6a", "fig6b",
 		"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
 		"tab3", "fig11", "fig12", "fig13", "tab4", "fig14", "sec532x",
-		"ablations",
+		"ablations", "sharding",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -331,6 +331,42 @@ func TestAblationsCloseTheGap(t *testing.T) {
 	}
 	if zkRef >= baseline {
 		t.Errorf("ZooKeeper reference (%v) should beat the serverless baseline (%v)", zkRef, baseline)
+	}
+}
+
+func TestShardingScalesUniformWrites(t *testing.T) {
+	rep := runQuick(t, "sharding")
+	if len(rep.Sections) != 2 {
+		t.Fatalf("expected uniform and hot sections, got %d", len(rep.Sections))
+	}
+	// Uniform workload: throughput must grow monotonically with the shard
+	// count and reach at least 2x at 8 shards.
+	tput := map[string]float64{}
+	for _, row := range rep.Sections[0].Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad throughput in %v", row)
+		}
+		tput[row[0]] = v
+	}
+	if !(tput["1"] < tput["2"] && tput["2"] < tput["4"] && tput["4"] < tput["8"]) {
+		t.Errorf("uniform throughput not monotone: %v", tput)
+	}
+	if tput["8"] < 2*tput["1"] {
+		t.Errorf("8 shards = %.1f writes/s, want >= 2x single shard (%.1f)", tput["8"], tput["1"])
+	}
+	// Hot subtree: all writes on one shard, no scaling expected (within
+	// noise of 25%).
+	hot := map[string]float64{}
+	for _, row := range rep.Sections[1].Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad hot-subtree throughput in %v", row)
+		}
+		hot[row[0]] = v
+	}
+	if hot["8"] > 1.25*hot["1"] {
+		t.Errorf("hot-subtree workload should not scale: %v", hot)
 	}
 }
 

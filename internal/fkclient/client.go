@@ -45,7 +45,13 @@ type Client struct {
 	buffered    map[int64]core.Response // responses held for FIFO release
 	lastWrite   *sim.Future[core.Response]
 
-	mrd          int64 // newest txid across delivered notifications
+	// mrd tracks, per write shard, the newest txid across delivered
+	// notifications. Txids are only totally ordered within a shard, so the
+	// read-ordering shortcut ("updates older than the MRD are always
+	// safe") must compare against the owning shard's MRD; with one shard
+	// this is exactly the paper's single MRD register.
+	mrd          map[int]int64
+	mrdMax       int64 // max across shards (informational)
 	maxSeenMzxid int64 // newest data this session has observed (Z3)
 
 	watches map[int64]*watchEntry
@@ -81,6 +87,7 @@ func Connect(d *core.Deployment, id string, region cloud.Region) (*Client, error
 		callbacks: sim.NewQueue[func()](d.K),
 		pending:   map[int64]*pendingOp{},
 		buffered:  map[int64]core.Response{},
+		mrd:       map[int]int64{},
 		watches:   map[int64]*watchEntry{},
 	}
 	if err := d.RegisterSession(c.ctx, id); err != nil {
@@ -96,8 +103,9 @@ func Connect(d *core.Deployment, id string, region cloud.Region) (*Client, error
 // ID returns the session id.
 func (c *Client) ID() string { return c.id }
 
-// MRD returns the newest transaction id delivered through notifications.
-func (c *Client) MRD() int64 { return c.mrd }
+// MRD returns the newest transaction id delivered through notifications
+// (across all write shards).
+func (c *Client) MRD() int64 { return c.mrdMax }
 
 // MaxSeenMzxid returns the newest modification this session has read; it
 // never decreases (single system image, Z3).
@@ -198,8 +206,16 @@ func (c *Client) onResponse(r core.Response) {
 }
 
 func (c *Client) onNotification(n core.Notification) {
-	if n.Txid > c.mrd {
-		c.mrd = n.Txid
+	// Attribute the txid to the shard that issued it. The shard is
+	// recovered from the txid itself (txid = seqNo*N + shard), not from
+	// the notification path: a child watch on "/" fires with the root's
+	// path but a txid minted by the created child's shard.
+	shard := int(n.Txid % int64(c.d.NumShards()))
+	if n.Txid > c.mrd[shard] {
+		c.mrd[shard] = n.Txid
+	}
+	if n.Txid > c.mrdMax {
+		c.mrdMax = n.Txid
 	}
 	entry, ok := c.watches[n.WatchID]
 	if !ok {
@@ -388,8 +404,9 @@ func (c *Client) read(path string) (*znode.Node, error) {
 	}
 	// Ordered notifications (Z4): if the node was committed while one of
 	// *our* watches was still being delivered, hold the result until that
-	// notification arrives. Updates older than the MRD are always safe.
-	if n.Stat.Mzxid >= c.mrd {
+	// notification arrives. Updates older than the owning shard's MRD are
+	// always safe (txids are totally ordered within a shard).
+	if n.Stat.Mzxid >= c.mrd[core.ShardOf(path, c.d.NumShards())] {
 		for _, wid := range stamp {
 			entry, mine := c.watches[wid]
 			if !mine || entry.delivered.Done() {
