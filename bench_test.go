@@ -80,6 +80,9 @@ func BenchmarkAblationsRequirements(b *testing.B) { benchExperiment(b, "ablation
 // Sharded leader pipeline write scaling (beyond the paper).
 func BenchmarkShardingWriteScaling(b *testing.B) { benchExperiment(b, "sharding") }
 
+// Read-path cache tier (beyond the paper).
+func BenchmarkCachingReadTier(b *testing.B) { benchExperiment(b, "caching") }
+
 // --- micro-benchmarks of the implementation itself (real time) ---
 
 // BenchmarkSimKernelEvents measures raw simulator event throughput.
@@ -227,6 +230,43 @@ func BenchmarkFKShardedWritePath(b *testing.B) {
 	k.Run()
 	k.Shutdown()
 	b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/op")
+}
+
+// BenchmarkFKCachedReadPath measures simulated get_data round trips
+// through the two-level cache tier (compare with BenchmarkFKReadPath's
+// direct store access): after the first miss fills the caches, every
+// iteration is a client-cache hit until the TTL forces a refresh.
+func BenchmarkFKCachedReadPath(b *testing.B) {
+	k := sim.NewKernel(1)
+	d := core.NewDeployment(k, core.Config{
+		UserStore: core.StoreKV,
+		CacheMode: core.CacheTwoLevel,
+	})
+	b.ReportAllocs()
+	k.Go("bench", func() {
+		c, err := fkclient.Connect(d, "bench", d.Cfg.Profile.Home)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Create("/bench", make([]byte, 1024), 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.GetData("/bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		l1, l2, misses := c.CacheStats()
+		if total := l1 + l2 + misses; total > 0 {
+			b.ReportMetric(float64(l1+l2)/float64(total), "hit-ratio")
+		}
+	})
+	k.Run()
+	b.StopTimer()
+	k.Shutdown()
 }
 
 // BenchmarkFKReadPath measures simulated get_data round trips.

@@ -105,6 +105,16 @@ const (
 	StoreMem    = core.StoreMem    // Redis-like cache on a VM
 )
 
+// CacheMode selects the read-path cache tier.
+type CacheMode = core.CacheMode
+
+// Cache tiers.
+const (
+	CacheOff      = core.CacheOff      // reads hit the user store directly
+	CacheRegional = core.CacheRegional // shared per-region cache node
+	CacheTwoLevel = core.CacheTwoLevel // client cache + regional node
+)
+
 // DeploymentOptions configures a FaaSKeeper deployment.
 type DeploymentOptions struct {
 	// GCP deploys the Google Cloud profile instead of AWS.
@@ -127,6 +137,19 @@ type DeploymentOptions struct {
 	// Default 1 — the paper-faithful single totally-ordered write path.
 	// See the exp "sharding" experiment for the scaling behavior.
 	WriteShards int
+	// CacheMode deploys the read-path cache tier in front of the user
+	// store: a push-invalidated regional cache node (CacheRegional),
+	// optionally combined with a per-session client cache
+	// (CacheTwoLevel). Default CacheOff — the paper's direct read path.
+	// See the "caching" experiment for the latency/cost behavior.
+	CacheMode CacheMode
+	// CacheCapacityB sizes each regional cache node (default 64 MB).
+	CacheCapacityB int
+	// ClientCacheCapacityB sizes each session's client cache in
+	// CacheTwoLevel mode (default 256 kB).
+	ClientCacheCapacityB int
+	// CacheTTL bounds client-cache staleness (default 5 s).
+	CacheTTL time.Duration
 }
 
 // Deployment is a running FaaSKeeper instance.
@@ -142,13 +165,17 @@ func (s *Simulation) DeployFaaSKeeper(opts DeploymentOptions) *Deployment {
 		profile = cloud.GCPProfile()
 	}
 	cfg := core.Config{
-		Profile:        profile,
-		UserStore:      opts.UserStore,
-		FollowerMemMB:  opts.FunctionMemoryMB,
-		LeaderMemMB:    opts.FunctionMemoryMB,
-		HeartbeatEvery: opts.HeartbeatEvery,
-		CollectPhases:  opts.CollectPhases,
-		WriteShards:    opts.WriteShards,
+		Profile:              profile,
+		UserStore:            opts.UserStore,
+		FollowerMemMB:        opts.FunctionMemoryMB,
+		LeaderMemMB:          opts.FunctionMemoryMB,
+		HeartbeatEvery:       opts.HeartbeatEvery,
+		CollectPhases:        opts.CollectPhases,
+		WriteShards:          opts.WriteShards,
+		CacheMode:            opts.CacheMode,
+		CacheCapacityB:       opts.CacheCapacityB,
+		ClientCacheCapacityB: opts.ClientCacheCapacityB,
+		CacheTTL:             opts.CacheTTL,
 	}
 	if opts.ARM {
 		cfg.Arch = faas.ARM

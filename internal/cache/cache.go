@@ -1,0 +1,219 @@
+package cache
+
+import (
+	"slices"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/sim"
+)
+
+// Invalidation is the record the leader publishes to the regional cache on
+// every user-store write: the path it is about to overwrite, the commit's
+// transaction id, and the union epoch stamp (the in-flight watch ids across
+// all shards) the new value will carry. The epoch union is retained with
+// the path's floor so a future stamp-carrying upgrade — or a test — can
+// reconstruct the exact invalidation order the cache observed.
+type Invalidation struct {
+	Path  string
+	Mzxid int64
+	Epoch []int64
+}
+
+// floor is the per-path invalidation watermark: fills below it are
+// rejected, so a read that fetched the old value from the store just
+// before the overwrite can never resurrect it after the invalidation.
+type floor struct {
+	mzxid int64
+	epoch []int64
+}
+
+// Stats counts one regional cache's traffic.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Fills         int64
+	RejectedFills int64
+	Invalidations int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 with no traffic.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Regional is the shared cache node of one region: an in-memory store on a
+// provisioned VM (the cloud profile's mem-store latencies, billed hourly
+// rather than per operation) that fronts the region's user store. All
+// consistency decisions stay with the client library — the cache only
+// promises that an entry's (blob, mzxid) pair is something the user store
+// returned at some point and that no entry survives its invalidation.
+type Regional struct {
+	env    *cloud.Env
+	region cloud.Region
+	lru    *LRU
+	floors map[string]floor
+	// floorCap bounds the floors map: paths are written forever but
+	// watermarks must not accumulate forever (the tombstone-GC gap).
+	// On overflow the older half folds into globalFloor — see
+	// compactFloors.
+	floorCap    int
+	globalFloor int64
+	stats       Stats
+}
+
+// defaultFloorCap keeps the watermark map far above any working set the
+// experiments sweep while still bounding a long-running deployment.
+const defaultFloorCap = 64 << 10
+
+// NewRegional provisions a regional cache node with the given byte
+// capacity (<= 0 selects 64 MB).
+func NewRegional(env *cloud.Env, region cloud.Region, capacityB int) *Regional {
+	if capacityB <= 0 {
+		capacityB = 64 << 20
+	}
+	return &Regional{
+		env:      env,
+		region:   region,
+		lru:      NewLRU(capacityB),
+		floors:   map[string]floor{},
+		floorCap: defaultFloorCap,
+	}
+}
+
+// floorOf returns a path's effective invalidation watermark: its own
+// floor, or the global floor it may have been folded into.
+func (r *Regional) floorOf(path string) int64 {
+	if f, ok := r.floors[path]; ok {
+		return f.mzxid
+	}
+	return r.globalFloor
+}
+
+// compactFloors folds the older half of the per-path watermarks (by
+// mzxid) into globalFloor. Correctness is preserved conservatively: a
+// path without its own floor is fenced at the global one, so a stale fill
+// can never slip under a folded watermark — cold paths may over-miss
+// until a write newer than the fold point, they can never go stale.
+func (r *Regional) compactFloors() {
+	ms := make([]int64, 0, len(r.floors))
+	for _, f := range r.floors {
+		ms = append(ms, f.mzxid)
+	}
+	slices.Sort(ms)
+	cut := ms[len(ms)/2]
+	for p, f := range r.floors {
+		if f.mzxid <= cut {
+			delete(r.floors, p)
+		}
+	}
+	if cut > r.globalFloor {
+		r.globalFloor = cut
+	}
+}
+
+// Region returns the cache node's region.
+func (r *Regional) Region() cloud.Region { return r.region }
+
+// lat sleeps one cache-node operation: the mem-store base plus the
+// size-proportional transfer term, exactly like the Redis-backed user
+// store the paper measures.
+func (r *Regional) lat(ctx cloud.Ctx, base sim.Dist, perKB sim.Time, size int) {
+	r.env.K.Sleep(r.env.OpTime(ctx, base, perKB, size))
+}
+
+// Lookup probes the cache for path, paying the mem-store read round trip
+// whether it hits or misses. It returns the cached blob and its mzxid; the
+// caller decides whether its session guards allow serving it. The probe
+// executes server-side after the request-travel delay, so the entry (and
+// the size driving the transfer time) is whatever the cache holds at that
+// instant — the same serialization point the mem-backed user store uses.
+func (r *Regional) Lookup(ctx cloud.Ctx, path string) ([]byte, int64, bool) {
+	p := r.env.Profile
+	r.lat(ctx, p.MemReadBase, 0, 0)
+	e, ok := r.lru.Get(path)
+	r.env.Meter.Charge("cache.read", 0, 1)
+	if !ok {
+		r.stats.Misses++
+		return nil, 0, false
+	}
+	r.lat(ctx, sim.Const(0), p.MemReadPerKB, len(e.Blob))
+	r.stats.Hits++
+	return e.Blob, e.Mzxid, true
+}
+
+// Fill stores a blob a client fetched from the user store. The fill is
+// rejected when the path's invalidation floor (or an already newer entry)
+// proves the blob stale — the lost race between a read of the old value
+// and the overwrite's invalidation. Reports whether the entry was stored.
+func (r *Regional) Fill(ctx cloud.Ctx, path string, blob []byte, mzxid int64) bool {
+	p := r.env.Profile
+	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, len(blob))
+	r.env.Meter.Charge("cache.write", 0, 1)
+	if mzxid < r.floorOf(path) {
+		r.stats.RejectedFills++
+		return false
+	}
+	if cur, ok := r.lru.Peek(path); ok && cur.Mzxid > mzxid {
+		r.stats.RejectedFills++
+		return false
+	}
+	r.lru.Put(path, Entry{Blob: blob, Mzxid: mzxid, FilledAt: r.env.K.Now()})
+	r.stats.Fills++
+	return true
+}
+
+// Invalidate applies one leader-published record: STRICTLY raise the
+// path's floor — to the record's mzxid, but always past the previous
+// floor — and drop any cached entry below it. Within a shard records
+// arrive in txid order, so the floor lands exactly on each record's mzxid
+// and post-write fills pass. The strict bump matters for the shared root,
+// the one path written by several shards: its rebuilds are serialized by
+// the root lock but may carry out-of-order txids, and the freshness value
+// (pzxid only rises) cannot distinguish two successive root contents when
+// the later rebuild applies the lower txid. Bumping past the old floor
+// fences both the resident copy and any in-flight fill of the
+// pre-rebuild value — at worst the root over-misses until its next
+// higher-txid change, never serves a superseded child list.
+func (r *Regional) Invalidate(ctx cloud.Ctx, inv Invalidation) {
+	p := r.env.Profile
+	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, 8*(2+len(inv.Epoch)))
+	r.env.Meter.Charge("cache.write", 0, 1)
+	r.stats.Invalidations++
+	newFloor := r.floorOf(inv.Path) + 1
+	if inv.Mzxid > newFloor {
+		newFloor = inv.Mzxid
+	}
+	r.floors[inv.Path] = floor{mzxid: newFloor, epoch: append([]int64(nil), inv.Epoch...)}
+	if cur, ok := r.lru.Peek(inv.Path); ok && cur.Mzxid < newFloor {
+		r.lru.Remove(inv.Path)
+	}
+	if len(r.floors) > r.floorCap {
+		r.compactFloors()
+	}
+}
+
+// Floor returns the path's effective invalidation watermark and the epoch
+// union of the record that set it (empty epoch when the watermark is the
+// global fold floor or the path was never invalidated).
+func (r *Regional) Floor(path string) (int64, []int64) {
+	if f, ok := r.floors[path]; ok {
+		return f.mzxid, f.epoch
+	}
+	return r.globalFloor, nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (r *Regional) Stats() Stats { return r.stats }
+
+// Bytes returns the cached payload bytes (capacity accounting).
+func (r *Regional) Bytes() int { return r.lru.Bytes() }
+
+// Len returns the number of cached entries.
+func (r *Regional) Len() int { return r.lru.Len() }
+
+// Evictions returns the LRU's capacity-pressure eviction count.
+func (r *Regional) Evictions() int64 { return r.lru.Evictions() }

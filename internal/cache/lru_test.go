@@ -1,0 +1,102 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+)
+
+func blob(n int) []byte { return bytes.Repeat([]byte("x"), n) }
+
+// capFor returns a capacity that holds exactly n entries of the given
+// payload size under single-letter keys.
+func capFor(n, payloadB int) int { return n * (payloadB + 1 + entryOverheadB) }
+
+func TestLRUEvictionOrder(t *testing.T) {
+	l := NewLRU(capFor(3, 100))
+	for _, k := range []string{"a", "b", "c"} {
+		l.Put(k, Entry{Blob: blob(100)})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("expected 3 entries, got %d", l.Len())
+	}
+	// Touch "a": it becomes most recently used, so "b" is now oldest.
+	if _, ok := l.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	l.Put("d", Entry{Blob: blob(100)})
+	if _, ok := l.Peek("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := l.Peek(k); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+	if l.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", l.Evictions())
+	}
+	want := []string{"d", "a", "c"}
+	got := l.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recency order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLRUByteCapacityEnforced(t *testing.T) {
+	capB := capFor(4, 50)
+	l := NewLRU(capB)
+	for i := 0; i < 20; i++ {
+		l.Put(string(rune('a'+i)), Entry{Blob: blob(50)})
+		if l.Bytes() > capB {
+			t.Fatalf("bytes %d exceed capacity %d after insert %d", l.Bytes(), capB, i)
+		}
+	}
+	if l.Len() != 4 {
+		t.Errorf("expected 4 resident entries, got %d", l.Len())
+	}
+	// A larger replacement for an existing key re-accounts its size.
+	l.Put("t", Entry{Blob: blob(50)})
+	before := l.Bytes()
+	l.Put("t", Entry{Blob: blob(60)})
+	if l.Bytes() > capB {
+		t.Errorf("bytes %d exceed capacity after in-place growth", l.Bytes())
+	}
+	if _, ok := l.Peek("t"); !ok {
+		t.Error("replaced entry missing")
+	}
+	_ = before
+}
+
+func TestLRUOversizedEntryNotCached(t *testing.T) {
+	l := NewLRU(256)
+	l.Put("big", Entry{Blob: blob(1024)})
+	if _, ok := l.Peek("big"); ok {
+		t.Error("entry larger than the whole capacity must not be cached")
+	}
+	if l.Len() != 0 || l.Bytes() != 0 {
+		t.Errorf("cache should stay empty: len=%d bytes=%d", l.Len(), l.Bytes())
+	}
+	// An oversized replacement also removes the old resident copy rather
+	// than leaving a stale one behind.
+	l.Put("k", Entry{Blob: blob(64), Mzxid: 1})
+	l.Put("k", Entry{Blob: blob(1024), Mzxid: 2})
+	if _, ok := l.Peek("k"); ok {
+		t.Error("stale small copy must not survive an oversized replacement")
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	l := NewLRU(1 << 10)
+	l.Put("x", Entry{Blob: blob(10), Mzxid: 7})
+	if !l.Remove("x") {
+		t.Error("remove should report presence")
+	}
+	if l.Remove("x") {
+		t.Error("second remove should report absence")
+	}
+	if l.Bytes() != 0 {
+		t.Errorf("bytes not released: %d", l.Bytes())
+	}
+}

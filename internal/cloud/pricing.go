@@ -36,6 +36,11 @@ type Pricing struct {
 	// IaaS rates for the ZooKeeper baseline.
 	VMHourly  map[string]float64 // instance type -> $/hour
 	BlockGBMo float64            // EBS gp3 / PD $ per GB-month
+
+	// CacheVMHourly is the provisioned regional cache node (ElastiCache /
+	// Memorystore class): cache traffic itself is free per-operation, the
+	// VM bills by the hour like the paper's "third-party" Redis store.
+	CacheVMHourly float64
 }
 
 // AWSPricing returns the us-east-1 rates used throughout the paper.
@@ -63,7 +68,8 @@ func AWSPricing() Pricing {
 			"t3.large":   0.0832,
 			"t3.2xlarge": 0.3328,
 		},
-		BlockGBMo: 0.08, // gp3
+		BlockGBMo:     0.08,  // gp3
+		CacheVMHourly: 0.068, // cache.t3.medium, us-east-1 on-demand
 	}
 }
 
@@ -91,7 +97,8 @@ func GCPPricing() Pricing {
 			"e2-small":  0.0168,
 			"e2-medium": 0.0335,
 		},
-		BlockGBMo: 0.10,
+		BlockGBMo:     0.10,
+		CacheVMHourly: 0.049, // Memorystore basic M1, us-central1
 	}
 }
 
@@ -153,6 +160,12 @@ func (p Pricing) VMDailyCost(instanceType string, count int) float64 {
 // BlockStorageDailyCost returns the dollars per day for gb of block storage.
 func (p Pricing) BlockStorageDailyCost(gb float64) float64 {
 	return p.BlockGBMo * gb * 12 / 365
+}
+
+// CacheVMDailyCost returns the dollars per day for the regional cache
+// nodes of the read-path cache tier.
+func (p Pricing) CacheVMDailyCost(nodes int) float64 {
+	return p.CacheVMHourly * 24 * float64(nodes)
 }
 
 // units computes ceil(size/unit) with a minimum of one unit.

@@ -261,3 +261,27 @@ func TestRegisterWatchAndEpoch(t *testing.T) {
 		t.Fatalf("watch item: %v", it)
 	}
 }
+
+func TestCacheModeValidation(t *testing.T) {
+	// Known modes (plus the "off" spelling) pass and normalize.
+	for _, m := range []CacheMode{CacheOff, "off", CacheRegional, CacheTwoLevel} {
+		c := Config{CacheMode: m}
+		c.defaults()
+		if m == "off" && c.CacheMode != CacheOff {
+			t.Errorf("%q did not normalize to CacheOff", m)
+		}
+	}
+	// A typo must fail loudly instead of silently deploying the wrong tier.
+	for _, m := range []CacheMode{"OFF", "none", "twolevel", "two_level"} {
+		m := m
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CacheMode %q accepted, want panic", m)
+				}
+			}()
+			c := Config{CacheMode: m}
+			c.defaults()
+		}()
+	}
+}

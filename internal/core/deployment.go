@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"faaskeeper/internal/cache"
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/faas"
 	"faaskeeper/internal/cloud/kv"
@@ -12,6 +13,17 @@ import (
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/stats"
 	"faaskeeper/internal/znode"
+)
+
+// CacheMode selects the read-path cache tier in front of the user store.
+type CacheMode string
+
+// Cache tiers. With CacheOff (the default) the read path is byte-for-byte
+// the paper's direct store access.
+const (
+	CacheOff      CacheMode = ""          // no cache: reads hit the user store directly
+	CacheRegional CacheMode = "regional"  // shared per-region cache node only
+	CacheTwoLevel CacheMode = "two-level" // per-session client cache + regional node
 )
 
 // Function names deployed by FaaSKeeper (Section 3: four functions).
@@ -55,6 +67,27 @@ type Config struct {
 	// epoch counters. Default 1 — the paper's single totally-ordered
 	// write path. See ShardOf for the routing function.
 	WriteShards int
+
+	// CacheMode enables the read-path cache tier (package cache): a
+	// shared regional cache node fronting each region's user store,
+	// optionally combined with a per-session client cache. The leader
+	// push-invalidates the regional node on every user-store write, and
+	// clients apply the direct path's Z3/Z4 guards before serving a
+	// cached entry. Default CacheOff — the paper's direct read path.
+	CacheMode CacheMode
+
+	// CacheCapacityB sizes each regional cache node (default 64 MB).
+	CacheCapacityB int
+
+	// ClientCacheCapacityB sizes each session's client cache in
+	// CacheTwoLevel mode (default 256 kB).
+	ClientCacheCapacityB int
+
+	// CacheTTL bounds client-cache staleness: entries older than this
+	// are refetched, preserving ZooKeeper's timeliness guarantee even
+	// for sessions that never observe newer state (default 5 s). The
+	// regional node needs no TTL — it is push-invalidated by the leader.
+	CacheTTL time.Duration
 
 	// CollectPhases enables per-phase latency sampling (Figures 9-12,
 	// Table 3).
@@ -109,6 +142,23 @@ func (c *Config) defaults() {
 	if c.WriteShards <= 0 {
 		c.WriteShards = 1
 	}
+	switch c.CacheMode {
+	case "off":
+		c.CacheMode = CacheOff
+	case CacheOff, CacheRegional, CacheTwoLevel:
+	default:
+		// A typo must not silently deploy the wrong tier (an unknown
+		// string would otherwise enable the regional cache).
+		panic("core: unknown CacheMode " + string(c.CacheMode))
+	}
+	// CacheCapacityB's 64 MB default is owned by cache.NewRegional (<= 0
+	// passes through).
+	if c.ClientCacheCapacityB <= 0 {
+		c.ClientCacheCapacityB = 256 << 10
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = 5 * time.Second
+	}
 }
 
 // Deployment is one running FaaSKeeper instance: storage, queues,
@@ -122,6 +172,10 @@ type Deployment struct {
 	System *kv.Table
 	Locks  *fksync.LockManager
 	Stores []UserStore // [0] is the home-region primary
+
+	// Caches holds one regional cache node per user store (aligned with
+	// Stores); empty when CacheMode is CacheOff.
+	Caches []*cache.Regional
 
 	// LeaderQs holds one ordered queue per write shard; LeaderQs[s] feeds
 	// shard s's serialized leader instance. A single-shard deployment has
@@ -173,6 +227,9 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 	regions := append([]cloud.Region{cfg.Profile.Home}, cfg.ExtraRegions...)
 	for _, r := range regions {
 		d.Stores = append(d.Stores, d.newUserStore(r))
+		if cfg.CacheMode != CacheOff {
+			d.Caches = append(d.Caches, cache.NewRegional(env, r, cfg.CacheCapacityB))
+		}
 	}
 
 	for s := 0; s < cfg.WriteShards; s++ {
@@ -246,6 +303,20 @@ func (d *Deployment) StoreFor(region cloud.Region) UserStore {
 		}
 	}
 	return d.Stores[0]
+}
+
+// CacheFor returns the regional cache node local to a region (nil when the
+// cache tier is off), with the same closest-replica fallback as StoreFor.
+func (d *Deployment) CacheFor(region cloud.Region) *cache.Regional {
+	if len(d.Caches) == 0 {
+		return nil
+	}
+	for _, c := range d.Caches {
+		if c.Region() == region {
+			return c
+		}
+	}
+	return d.Caches[0]
 }
 
 // Connect provisions the cloud-side transport for a new session: a FIFO

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"strings"
 
+	"faaskeeper/internal/cache"
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/faas"
 	"faaskeeper/internal/cloud/kv"
@@ -373,6 +374,16 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 		d.K.Go("leader-update-"+string(s.Region()), func() {
 			defer wg.Done()
 			stamp := epochs[s.Region()]
+			// Publish the invalidation record before the store write
+			// lands: once the new value is readable, the regional cache
+			// has already dropped the old entry and raised the path's
+			// floor, so a concurrent read of the pre-write value can
+			// never re-fill the cache above the overwrite (package
+			// cache). A read in the window between the two sees exactly
+			// what the direct path would: the store's current value.
+			if rc := d.CacheFor(s.Region()); rc != nil {
+				rc.Invalidate(ctx, cacheInv(msg.Path, txid, stamp))
+			}
 			switch msg.Op {
 			case OpDelete:
 				_ = s.Delete(ctx, msg.Path)
@@ -426,7 +437,18 @@ func (d *Deployment) applyParentRMW(ctx cloud.Ctx, s UserStore, msg leaderMsg, t
 		parent.Stat.Pzxid = txid
 	}
 	parent.Stat.NumChildren = int32(len(parent.Children))
+	// The rebuilt parent object is about to replace the cached copy whose
+	// child list is now stale; invalidate before the write becomes
+	// readable (same ordering argument as the node update above).
+	if rc := d.CacheFor(s.Region()); rc != nil {
+		rc.Invalidate(ctx, cacheInv(msg.ParentPath, txid, stamp))
+	}
 	_ = s.Write(ctx, parent, stamp)
+}
+
+// cacheInv assembles the leader's per-path invalidation record.
+func cacheInv(path string, txid int64, stamp []int64) cache.Invalidation {
+	return cache.Invalidation{Path: path, Mzxid: txid, Epoch: stamp}
 }
 
 // appendEpochs enters fired watch ids into the shard's per-region epoch

@@ -250,14 +250,18 @@ func (s *memStore) Write(ctx cloud.Ctx, n *znode.Node, epoch []int64) error {
 }
 
 func (s *memStore) Read(ctx cloud.Ctx, path string) (*znode.Node, []int64, error) {
-	blob, ok := s.data[path]
 	p := s.env.Profile
-	s.env.K.Sleep(s.lat(ctx, p.MemReadBase, p.MemReadPerKB, len(blob)))
+	// Request travel and server processing come first; the single lookup
+	// then observes whatever the store holds when the operation executes
+	// server-side, and the transfer term is charged for exactly the blob
+	// returned — the value and the size-driven latency can never diverge.
+	s.env.K.Sleep(s.lat(ctx, p.MemReadBase, 0, 0))
 	s.ops++
-	blob, ok = s.data[path]
+	blob, ok := s.data[path]
 	if !ok {
 		return nil, nil, ErrUserNoNode
 	}
+	s.env.K.Sleep(s.lat(ctx, sim.Const(0), p.MemReadPerKB, len(blob)))
 	return znode.Unmarshal(blob)
 }
 

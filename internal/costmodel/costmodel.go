@@ -68,6 +68,52 @@ func (m Model) WriteCost(sizeB int, hybrid bool) float64 {
 	return c
 }
 
+// CachedReadCost returns the expected dollars for one read served through
+// the cache tier at the given hit ratio: hits touch only the regional
+// cache node (per-operation free — the node bills hourly, see
+// CacheNodeDailyCost), misses additionally pay the full store read.
+func (m Model) CachedReadCost(hitRatio float64, sizeB int, hybrid bool) float64 {
+	if hitRatio < 0 {
+		hitRatio = 0
+	}
+	if hitRatio > 1 {
+		hitRatio = 1
+	}
+	return (1 - hitRatio) * m.ReadCost(sizeB, hybrid)
+}
+
+// CacheNodeDailyCost is the provisioned cost of the cache tier: one
+// regional cache node per user-store region.
+func (m Model) CacheNodeDailyCost(regions int) float64 {
+	if regions <= 0 {
+		regions = 1
+	}
+	return m.P.CacheVMDailyCost(regions)
+}
+
+// CachedDailyCost returns a day of traffic with the cache tier deployed:
+// reads at the hit ratio, writes unchanged (each write additionally
+// publishes an invalidation to the cache node, which is per-op free), plus
+// the provisioned nodes.
+func (m Model) CachedDailyCost(requestsPerDay, readFraction, hitRatio float64, sizeB int, hybrid bool, regions int) float64 {
+	reads := requestsPerDay * readFraction
+	writes := requestsPerDay * (1 - readFraction)
+	return reads*m.CachedReadCost(hitRatio, sizeB, hybrid) +
+		writes*m.WriteCost(sizeB, hybrid) +
+		m.CacheNodeDailyCost(regions)
+}
+
+// CacheBreakEvenReads returns the daily read volume above which the cache
+// tier pays for itself: the point where the per-read savings of cache hits
+// cover the provisioned nodes. Infinite when the hit ratio saves nothing.
+func (m Model) CacheBreakEvenReads(hitRatio float64, sizeB int, hybrid bool, regions int) float64 {
+	saved := m.ReadCost(sizeB, hybrid) - m.CachedReadCost(hitRatio, sizeB, hybrid)
+	if saved <= 0 {
+		return math.Inf(1)
+	}
+	return m.CacheNodeDailyCost(regions) / saved
+}
+
 // DailyCost returns FaaSKeeper's cost for a day of traffic.
 func (m Model) DailyCost(requestsPerDay float64, readFraction float64, sizeB int, hybrid bool) float64 {
 	reads := requestsPerDay * readFraction

@@ -159,3 +159,45 @@ func TestGCPModelWriteCheaperQueueCostlierKV(t *testing.T) {
 		t.Error("Pub/Sub small message should be cheaper than SQS")
 	}
 }
+
+func TestCachedReadCostScalesWithHitRatio(t *testing.T) {
+	m := NewAWSModel(512)
+	full := m.ReadCost(1024, true)
+	if got := m.CachedReadCost(0, 1024, true); got != full {
+		t.Errorf("0%% hits should cost a full read: $%v vs $%v", got, full)
+	}
+	if got := m.CachedReadCost(1, 1024, true); got != 0 {
+		t.Errorf("100%% hits should be per-op free, got $%v", got)
+	}
+	lo, hi := m.CachedReadCost(0.9, 1024, true), m.CachedReadCost(0.5, 1024, true)
+	if !(lo < hi && hi < full) {
+		t.Errorf("cached read cost not monotone in miss ratio: %v %v %v", lo, hi, full)
+	}
+	// Out-of-range ratios clamp instead of going negative.
+	if m.CachedReadCost(1.5, 1024, true) != 0 || m.CachedReadCost(-1, 1024, true) != full {
+		t.Error("hit ratio should clamp to [0,1]")
+	}
+}
+
+func TestCacheBreakEven(t *testing.T) {
+	m := NewAWSModel(512)
+	be := m.CacheBreakEvenReads(0.9, 1024, true, 1)
+	if math.IsInf(be, 1) || be <= 0 {
+		t.Fatalf("break-even should be finite and positive, got %v", be)
+	}
+	// At the break-even read volume the cached deployment costs the same
+	// as the uncached one (pure-read workload).
+	plain := m.DailyCost(be, 1, 1024, true)
+	cached := m.CachedDailyCost(be, 1, 0.9, 1024, true, 1)
+	if diff := math.Abs(plain-cached) / plain; diff > 1e-9 {
+		t.Errorf("costs at break-even differ: $%v vs $%v", plain, cached)
+	}
+	// A zero hit ratio never pays for the node.
+	if !math.IsInf(m.CacheBreakEvenReads(0, 1024, true, 1), 1) {
+		t.Error("0%% hit ratio should never break even")
+	}
+	// More regions cost proportionally more.
+	if m.CacheNodeDailyCost(3) != 3*m.CacheNodeDailyCost(1) {
+		t.Error("cache node cost should scale with regions")
+	}
+}

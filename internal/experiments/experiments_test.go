@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab1", "fig4a", "fig4b", "fig5", "tab6a", "fig6b",
 		"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
 		"tab3", "fig11", "fig12", "fig13", "tab4", "fig14", "sec532x",
-		"ablations", "sharding",
+		"ablations", "sharding", "caching",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -367,6 +367,48 @@ func TestShardingScalesUniformWrites(t *testing.T) {
 	}
 	if hot["8"] > 1.25*hot["1"] {
 		t.Errorf("hot-subtree workload should not scale: %v", hot)
+	}
+}
+
+func TestCachingBeatsDirectReads(t *testing.T) {
+	rep := runQuick(t, "caching")
+	rows := rep.Sections[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 configurations, got %d", len(rows))
+	}
+	type cols struct{ hit, mean float64 }
+	parsed := map[string]cols{}
+	for _, row := range rows {
+		hit, err1 := strconv.ParseFloat(row[1], 64)
+		mean, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if row[6] != "0" {
+			t.Errorf("Z3 violations in %q: %s", row[0], row[6])
+		}
+		parsed[row[0]] = cols{hit: hit, mean: mean}
+	}
+	base := parsed["FK DynamoDB (no cache)"]
+	two := parsed["FK DynamoDB + two-level cache"]
+	reg := parsed["FK DynamoDB + regional cache"]
+	mem := parsed["FK Redis user store (paper ablation)"]
+	if base.hit != 0 {
+		t.Errorf("uncached run reports %v%% hits", base.hit)
+	}
+	// Acceptance: the cache tier must at least halve the mean read
+	// latency of the KV-store baseline on the Zipf read-heavy workload.
+	for name, v := range map[string]cols{"two-level": two, "regional": reg} {
+		if v.hit < 50 {
+			t.Errorf("%s hit ratio %.1f%%, want > 50%%", name, v.hit)
+		}
+		if v.mean > base.mean/2 {
+			t.Errorf("%s mean %.2f ms, want <= half of the %.2f ms baseline", name, v.mean, base.mean)
+		}
+	}
+	// The all-mem ablation bounds what caching can reach from below.
+	if !(mem.mean < two.mean && two.mean < base.mean) {
+		t.Errorf("expected mem < two-level < direct means: %v %v %v", mem.mean, two.mean, base.mean)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"time"
 
+	"faaskeeper/internal/cache"
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/core"
 	"faaskeeper/internal/sim"
@@ -54,6 +55,29 @@ type Client struct {
 	mrdMax       int64 // max across shards (informational)
 	maxSeenMzxid int64 // newest data this session has observed (Z3)
 
+	// Read-path cache tier (nil / unused when CacheMode is off, keeping
+	// the direct path byte-for-byte the paper's). rcache is the shared
+	// regional node, lcache the per-session client cache. lastSeen is the
+	// per-path floor of the session guard: the newest transaction this
+	// session has observed *for that path* — through reads or its own
+	// write responses — refining maxSeenMzxid so one hot node doesn't
+	// evict every colder path from cacheability while Z3's per-node
+	// monotonicity still holds exactly.
+	rcache   *cache.Regional
+	lcache   *cache.LRU
+	cacheTTL time.Duration
+	lastSeen map[string]int64
+	// sysFloor is the newest transaction this session has observed
+	// through any read (including a parent's pzxid — a child splice
+	// advances system state without touching mzxid) or its own write
+	// responses. It floors the client cache for cross-path monotonicity
+	// (single system image); strictly stronger than maxSeenMzxid, which
+	// keeps its public mzxid-only meaning.
+	sysFloor int64
+	l1Hits   int64
+	l2Hits   int64
+	l12Miss  int64
+
 	watches map[int64]*watchEntry
 
 	closed  bool
@@ -89,6 +113,14 @@ func Connect(d *core.Deployment, id string, region cloud.Region) (*Client, error
 		buffered:  map[int64]core.Response{},
 		mrd:       map[int]int64{},
 		watches:   map[int64]*watchEntry{},
+	}
+	if rc := d.CacheFor(region); rc != nil {
+		c.rcache = rc
+		c.cacheTTL = d.Cfg.CacheTTL
+		c.lastSeen = map[string]int64{}
+		if d.Cfg.CacheMode == core.CacheTwoLevel {
+			c.lcache = cache.NewLRU(d.Cfg.ClientCacheCapacityB)
+		}
 	}
 	if err := d.RegisterSession(c.ctx, id); err != nil {
 		return nil, err
@@ -201,7 +233,41 @@ func (c *Client) onResponse(r core.Response) {
 		if resp.Code == core.CodeOK && resp.Stat.Mzxid > c.maxSeenMzxid {
 			c.maxSeenMzxid = resp.Stat.Mzxid
 		}
+		if resp.Code == core.CodeOK {
+			c.noteOwnWrite(op.req.Op, resp)
+		}
 		op.done.TryComplete(resp)
+	}
+}
+
+// noteOwnWrite raises the session's per-path cache floors after one of its
+// writes commits, so read-your-writes holds through the cache tier: the
+// node itself, and — for creates and deletes — its parent, whose child
+// list changed under the same transaction.
+func (c *Client) noteOwnWrite(op core.OpCode, resp core.Response) {
+	if c.rcache == nil || op == core.OpDeregister {
+		return
+	}
+	if resp.Txid > c.sysFloor {
+		c.sysFloor = resp.Txid
+	}
+	if resp.Txid > c.lastSeen[resp.Path] {
+		c.lastSeen[resp.Path] = resp.Txid
+	}
+	if op == core.OpCreate || op == core.OpDelete {
+		parent := znode.Parent(resp.Path)
+		if resp.Txid > c.lastSeen[parent] {
+			c.lastSeen[parent] = resp.Txid
+		}
+		// Defensively drop the cached parent copy, whose child list this
+		// write superseded. For non-root parents the floors above already
+		// fence it (parent and child share a shard, so txids order the
+		// rebuilds), and the sharded root never enters the client cache
+		// at all (l1Cacheable) — the removal just keeps the invariant
+		// local and unconditional.
+		if c.lcache != nil {
+			c.lcache.Remove(parent)
+		}
 	}
 }
 
@@ -216,6 +282,12 @@ func (c *Client) onNotification(n core.Notification) {
 	}
 	if n.Txid > c.mrdMax {
 		c.mrdMax = n.Txid
+	}
+	// The notified path's client-cache copy predates the event; drop it
+	// eagerly (the shard-MRD floor just raised above would reject it
+	// anyway — this only saves the dead lookup).
+	if c.lcache != nil {
+		c.lcache.Remove(n.Path)
 	}
 	entry, ok := c.watches[n.WatchID]
 	if !ok {
@@ -307,7 +379,7 @@ func (c *Client) GetDataW(path string, cb WatchCallback) ([]byte, znode.Stat, er
 			return nil, znode.Stat{}, err
 		}
 	}
-	n, err := c.read(path)
+	n, err := c.read(path, cb != nil)
 	if err != nil {
 		return nil, znode.Stat{}, err
 	}
@@ -330,7 +402,7 @@ func (c *Client) ExistsW(path string, cb WatchCallback) (*znode.Stat, error) {
 			return nil, err
 		}
 	}
-	n, err := c.read(path)
+	n, err := c.read(path, cb != nil)
 	if errors.Is(err, core.ErrNoNode) {
 		return nil, nil
 	}
@@ -357,7 +429,7 @@ func (c *Client) GetChildrenW(path string, cb WatchCallback) ([]string, error) {
 			return nil, err
 		}
 	}
-	n, err := c.read(path)
+	n, err := c.read(path, cb != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -383,8 +455,10 @@ func (c *Client) registerWatch(path string, wt core.WatchType, cb WatchCallback)
 	return nil
 }
 
-// read performs the direct storage read and applies the ordering gate.
-func (c *Client) read(path string) (*znode.Node, error) {
+// read performs the storage read — through the cache tier when one is
+// deployed — and applies the ordering gate. watching marks a read that
+// just registered a watch and therefore bypasses the client cache.
+func (c *Client) read(path string, watching bool) (*znode.Node, error) {
 	if c.closed {
 		return nil, core.ErrSessionClosed
 	}
@@ -395,7 +469,7 @@ func (c *Client) read(path string) (*znode.Node, error) {
 			return nil, ErrTimeout
 		}
 	}
-	n, stamp, err := c.store.Read(c.ctx, path)
+	n, stamp, err := c.fetch(path, watching)
 	if errors.Is(err, core.ErrUserNoNode) {
 		return nil, core.ErrNoNode
 	}
@@ -405,7 +479,9 @@ func (c *Client) read(path string) (*znode.Node, error) {
 	// Ordered notifications (Z4): if the node was committed while one of
 	// *our* watches was still being delivered, hold the result until that
 	// notification arrives. Updates older than the owning shard's MRD are
-	// always safe (txids are totally ordered within a shard).
+	// always safe (txids are totally ordered within a shard). Cached
+	// entries carry the epoch stamp the leader attached when it wrote
+	// this exact version, so the guard is identical on every source.
 	if n.Stat.Mzxid >= c.mrd[core.ShardOf(path, c.d.NumShards())] {
 		for _, wid := range stamp {
 			entry, mine := c.watches[wid]
@@ -420,7 +496,131 @@ func (c *Client) read(path string) (*znode.Node, error) {
 	if n.Stat.Mzxid > c.maxSeenMzxid {
 		c.maxSeenMzxid = n.Stat.Mzxid
 	}
+	if c.rcache != nil {
+		f := nodeFresh(n)
+		if f > c.lastSeen[path] {
+			c.lastSeen[path] = f
+		}
+		if f > c.sysFloor {
+			c.sysFloor = f
+		}
+	}
 	return n, nil
+}
+
+// nodeFresh is the newest transaction reflected in a node's user-store
+// object: its mzxid, raised to its pzxid — child-list rebuilds replace the
+// object without touching the node's own mzxid.
+func nodeFresh(n *znode.Node) int64 {
+	if n.Stat.Pzxid > n.Stat.Mzxid {
+		return n.Stat.Pzxid
+	}
+	return n.Stat.Mzxid
+}
+
+// fetch resolves a path to (node, epoch stamp). With the cache tier off it
+// is exactly the paper's direct store read. With a cache it tries the
+// client cache, then the regional node, then falls through to the strongly
+// consistent store and refreshes both levels. A cached entry is served
+// only when it passes the session guard: at least as new as everything
+// this session has observed for the path (Z3, read-your-writes) and as
+// the owning shard's MRD — a delivered notification proves the shard
+// reached that transaction, and a single ZooKeeper server would never
+// answer from an older state (single system image). The Z4 epoch-stamp
+// gate runs in read() on every source alike.
+// Reads that just armed a watch (skipL1) bypass the client cache: the
+// registration took effect against the server's CURRENT state, so a
+// change between a stale session-local copy and the registration would
+// never fire the watch — the canonical read-then-wait-on-watch pattern
+// would hold the stale value indefinitely. The regional node stays in
+// play: it is push-invalidated before every write becomes readable, so
+// its entry is the committed state as of registration.
+func (c *Client) fetch(path string, skipL1 bool) (*znode.Node, []int64, error) {
+	if c.rcache == nil {
+		return c.store.Read(c.ctx, path)
+	}
+	floor := c.lastSeen[path]
+	if m := c.mrd[core.ShardOf(path, c.d.NumShards())]; m > floor {
+		floor = m
+	}
+	if c.lcache != nil && !skipL1 && c.l1Cacheable(path) {
+		// The client cache additionally floors on sysFloor: nothing
+		// invalidates session-local copies, so cross-path monotonicity
+		// (single system image — a client never observes an older system
+		// state than it has already seen) needs the session-wide floor
+		// here. A cold path's copy that fails it is simply re-fetched
+		// from the regional node, which serves it safely (see below).
+		l1Floor := floor
+		if c.sysFloor > l1Floor {
+			l1Floor = c.sysFloor
+		}
+		if e, ok := c.lcache.Get(path); ok && e.Mzxid >= l1Floor &&
+			c.d.K.Now()-e.FilledAt <= c.cacheTTL {
+			if n, stamp, err := znode.Unmarshal(e.Blob); err == nil {
+				c.l1Hits++
+				return n, stamp, nil
+			}
+		}
+	}
+	// The regional node needs no maxSeenMzxid floor: the leader publishes
+	// each invalidation before the store write inside its serialized
+	// per-shard distribution, so by the time any transaction's effect is
+	// readable, every entry it superseded on that shard is already gone
+	// and stale re-fills are floored out — an entry the node still holds
+	// is the path's current committed state as of everything this session
+	// can have observed on the shard (cross-shard txids carry no order,
+	// exactly as in the sharded write path).
+	if blob, mzxid, ok := c.rcache.Lookup(c.ctx, path); ok && mzxid >= floor {
+		if n, stamp, err := znode.Unmarshal(blob); err == nil {
+			c.l1Fill(path, blob, mzxid)
+			c.l2Hits++
+			return n, stamp, nil
+		}
+	}
+	c.l12Miss++
+	n, stamp, err := c.store.Read(c.ctx, path)
+	if err != nil {
+		if c.lcache != nil {
+			// Notably ErrUserNoNode: drop any lingering copy of a node
+			// the store no longer has.
+			c.lcache.Remove(path)
+		}
+		return nil, nil, err
+	}
+	blob := znode.Marshal(n, stamp)
+	fresh := nodeFresh(n)
+	c.l1Fill(path, blob, fresh)
+	// Refresh the regional node off the critical path (fire-and-forget,
+	// as a real client would): the fill pays the cache node's write
+	// latency without delaying this read, and the per-path floor rejects
+	// it if an invalidation for a newer version arrives first.
+	rc, ctx := c.rcache, c.ctx
+	c.d.K.Go("cache-fill-"+c.id, func() { rc.Fill(ctx, path, blob, fresh) })
+	return n, stamp, nil
+}
+
+// l1Cacheable reports whether a path may live in the client cache. The
+// shared root of a sharded deployment may not: it is rebuilt by several
+// shard leaders, so two successive contents can share one freshness value
+// and no session-local floor can order them. The regional node handles it
+// safely — every rebuild strictly raises its invalidation floor there.
+func (c *Client) l1Cacheable(path string) bool {
+	return path != znode.Root || c.d.NumShards() == 1
+}
+
+// l1Fill stores a blob in the client cache (two-level mode only).
+func (c *Client) l1Fill(path string, blob []byte, mzxid int64) {
+	if c.lcache == nil || !c.l1Cacheable(path) {
+		return
+	}
+	c.lcache.Put(path, cache.Entry{Blob: blob, Mzxid: mzxid, FilledAt: c.d.K.Now()})
+}
+
+// CacheStats reports this session's read-path cache effectiveness: hits
+// served by the client cache, hits served by the regional node, and reads
+// that fell through to the user store (all zero with the cache tier off).
+func (c *Client) CacheStats() (l1Hits, l2Hits, misses int64) {
+	return c.l1Hits, c.l2Hits, c.l12Miss
 }
 
 func (c *Client) check(path string) error {
