@@ -83,6 +83,9 @@ func BenchmarkShardingWriteScaling(b *testing.B) { benchExperiment(b, "sharding"
 // Read-path cache tier (beyond the paper).
 func BenchmarkCachingReadTier(b *testing.B) { benchExperiment(b, "caching") }
 
+// Batching distributor (beyond the paper).
+func BenchmarkBatchingDistributor(b *testing.B) { benchExperiment(b, "batching") }
+
 // --- micro-benchmarks of the implementation itself (real time) ---
 
 // BenchmarkSimKernelEvents measures raw simulator event throughput.
@@ -222,6 +225,65 @@ func BenchmarkFKShardedWritePath(b *testing.B) {
 		wg.Wait()
 		b.StopTimer()
 		virtual = k.Now() - start
+		for _, c := range clients {
+			c.Close()
+		}
+		setup.Close()
+	})
+	k.Run()
+	k.Shutdown()
+	b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/op")
+}
+
+// BenchmarkFKBatchedWritePath measures the batching distributor on a hot
+// node: eight concurrent sessions hammer one path with BatchWrites on, so
+// the leader folds each queue batch into one user-store write. Compare
+// vsec/op with BenchmarkFKWritePath (per-message distribution) and
+// fold/op (user-store writes per set_data) with its implicit 1.0.
+func BenchmarkFKBatchedWritePath(b *testing.B) {
+	const sessions = 8
+	k := sim.NewKernel(1)
+	d := core.NewDeployment(k, core.Config{BatchWrites: true})
+	b.ReportAllocs()
+	var virtual time.Duration
+	k.Go("bench", func() {
+		setup, err := fkclient.Connect(d, "setup", d.Cfg.Profile.Home)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := setup.Create("/bench", nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		clients := make([]*fkclient.Client, sessions)
+		for i := range clients {
+			c, err := fkclient.Connect(d, fmt.Sprintf("bench-%d", i), d.Cfg.Profile.Home)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients[i] = c
+		}
+		d.ResetMetrics()
+		b.ResetTimer()
+		payload := make([]byte, 1024)
+		wg := sim.NewWaitGroup(k)
+		start := k.Now()
+		for i := range clients {
+			i := i
+			wg.Add(1)
+			k.Go(fmt.Sprintf("bench-writer-%d", i), func() {
+				defer wg.Done()
+				for op := i; op < b.N; op += sessions {
+					if _, err := clients[i].SetData("/bench", payload, -1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		}
+		wg.Wait()
+		b.StopTimer()
+		virtual = k.Now() - start
+		b.ReportMetric(float64(d.Env.Meter.Count("obj.write"))/float64(b.N), "fold/op")
 		for _, c := range clients {
 			c.Close()
 		}

@@ -180,8 +180,38 @@ func (r *Regional) Fill(ctx cloud.Ctx, path string, blob []byte, mzxid int64) bo
 // higher-txid change, never serves a superseded child list.
 func (r *Regional) Invalidate(ctx cloud.Ctx, inv Invalidation) {
 	p := r.env.Profile
-	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, 8*(2+len(inv.Epoch)))
+	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, invSize(inv))
 	r.env.Meter.Charge("cache.write", 0, 1)
+	r.apply(inv)
+}
+
+// InvalidateBatch applies a coalesced multi-path invalidation record —
+// what the leader's batching distributor publishes once per batch instead
+// of once per message: one cache-node round trip whose transfer term
+// covers all entries, then each path's floor raised exactly as a
+// standalone Invalidate would raise it.
+func (r *Regional) InvalidateBatch(ctx cloud.Ctx, invs []Invalidation) {
+	if len(invs) == 0 {
+		return
+	}
+	p := r.env.Profile
+	size := 0
+	for _, inv := range invs {
+		size += invSize(inv)
+	}
+	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, size)
+	r.env.Meter.Charge("cache.write", 0, 1)
+	for _, inv := range invs {
+		r.apply(inv)
+	}
+}
+
+// invSize is an invalidation entry's on-wire size for the latency model.
+func invSize(inv Invalidation) int { return len(inv.Path) + 8*(2+len(inv.Epoch)) }
+
+// apply raises one record's floor and drops the fenced entry (the
+// latency and metering were already paid by the caller).
+func (r *Regional) apply(inv Invalidation) {
 	r.stats.Invalidations++
 	newFloor := r.floorOf(inv.Path) + 1
 	if inv.Mzxid > newFloor {

@@ -214,3 +214,59 @@ func TestInvalidationOrderingUnderConcurrentShardWrites(t *testing.T) {
 		t.Fatal("verification did not run")
 	}
 }
+
+func TestInvalidateBatchCoalesces(t *testing.T) {
+	withRegional(t, 1<<20, func(k *sim.Kernel, ctx cloud.Ctx, r *Regional) {
+		for i, p := range []string{"/a", "/b", "/c"} {
+			if !r.Fill(ctx, p, blob(64), int64(10+i)) {
+				t.Fatalf("fill %s rejected", p)
+			}
+		}
+		// One multi-path record: every path's floor raised, every fenced
+		// entry dropped, but only ONE cache-node write paid.
+		writesBefore := k.Now()
+		r.InvalidateBatch(ctx, []Invalidation{
+			{Path: "/a", Mzxid: 20, Epoch: []int64{5}},
+			{Path: "/b", Mzxid: 30, Epoch: []int64{5}},
+		})
+		batchDur := k.Now() - writesBefore
+		for _, c := range []struct {
+			path  string
+			floor int64
+		}{{"/a", 20}, {"/b", 30}} {
+			if f, _ := r.Floor(c.path); f != c.floor {
+				t.Errorf("floor of %s = %d, want %d", c.path, f, c.floor)
+			}
+			if _, _, ok := r.Lookup(ctx, c.path); ok {
+				t.Errorf("fenced entry %s still served", c.path)
+			}
+		}
+		if _, _, ok := r.Lookup(ctx, "/c"); !ok {
+			t.Error("untouched path /c evicted by the batch record")
+		}
+		if st := r.Stats(); st.Invalidations != 2 {
+			t.Errorf("invalidation count = %d, want one per record entry", st.Invalidations)
+		}
+		// The coalesced record must be cheaper than two standalone
+		// publishes (one base round trip instead of two).
+		t0 := k.Now()
+		r.Invalidate(ctx, Invalidation{Path: "/a", Mzxid: 40, Epoch: []int64{5}})
+		r.Invalidate(ctx, Invalidation{Path: "/b", Mzxid: 50, Epoch: []int64{5}})
+		if single := k.Now() - t0; batchDur >= single {
+			t.Errorf("batch record took %v, two standalone records %v", batchDur, single)
+		}
+	})
+}
+
+func TestInvalidateBatchEmptyIsFree(t *testing.T) {
+	withRegional(t, 1<<20, func(k *sim.Kernel, ctx cloud.Ctx, r *Regional) {
+		t0 := k.Now()
+		r.InvalidateBatch(ctx, nil)
+		if k.Now() != t0 {
+			t.Error("empty batch paid a round trip")
+		}
+		if st := r.Stats(); st.Invalidations != 0 {
+			t.Error("empty batch counted invalidations")
+		}
+	})
+}

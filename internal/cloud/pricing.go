@@ -122,6 +122,18 @@ func (p Pricing) KVReadCost(sizeB int, stronglyConsistent bool) float64 {
 	return c
 }
 
+// StoreWriteCost returns the dollars for one user-store write of sizeB
+// bytes on the given backend — object storage for the paper's standard
+// setup, KV for hybrid storage. This is the W_S3/W_DD term of Table 4,
+// the per-operation charge the leader's batching distributor folds when
+// several queued writes touch the same node.
+func (p Pricing) StoreWriteCost(sizeB int, hybrid bool) float64 {
+	if hybrid {
+		return p.KVWriteCost(sizeB)
+	}
+	return p.ObjectWriteCost(sizeB)
+}
+
 // QueueMsgCost returns the dollars for one queued message of sizeB bytes.
 func (p Pricing) QueueMsgCost(sizeB int) float64 {
 	if p.QueueUnitB > 0 {

@@ -68,6 +68,25 @@ type Config struct {
 	// write path. See ShardOf for the routing function.
 	WriteShards int
 
+	// BatchWrites enables the leader's batching distributor: the handler
+	// splits into a per-message commit phase (Algorithm 2's verification,
+	// watch claiming, and transaction pop, unchanged per operation) and a
+	// batch-level distributor that writes only the final folded state of
+	// each touched node to the user stores, performs one parent child-list
+	// read-modify-write per parent per batch, and publishes one coalesced
+	// cache-invalidation record per touched path. Every per-operation
+	// invariant is preserved: each client still receives its own Stat with
+	// its own txid, watch payloads carry the firing operation's txid, and
+	// epoch entries precede readability of the batch's writes (Z4).
+	// Default false — the paper's one-write-per-message distribution,
+	// byte-identical to the golden trace.
+	BatchWrites bool
+
+	// MaxBatch caps how many queued messages one distributor flush may
+	// fold (0 = the whole invocation batch, itself bounded by the queue
+	// technology's receive limit). Only meaningful with BatchWrites.
+	MaxBatch int
+
 	// CacheMode enables the read-path cache tier (package cache): a
 	// shared regional cache node fronting each region's user store,
 	// optionally combined with a per-session client cache. The leader
@@ -141,6 +160,9 @@ func (c *Config) defaults() {
 	}
 	if c.WriteShards <= 0 {
 		c.WriteShards = 1
+	}
+	if c.MaxBatch < 0 {
+		c.MaxBatch = 0
 	}
 	switch c.CacheMode {
 	case "off":

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"slices"
 	"strings"
 
 	"faaskeeper/internal/cache"
@@ -24,15 +23,17 @@ type watchCompletion struct {
 	fut *sim.Future[error]
 }
 
+// decodedMsg is one peeled leader-queue message with its derived txid.
+type decodedMsg struct {
+	msg  leaderMsg
+	txid int64
+}
+
 func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 	ctx := inv.Ctx
 	// A batch comes from exactly one shard's queue; decoding is free, so
 	// peel the messages first to learn the shard.
-	type decoded struct {
-		msg  leaderMsg
-		txid int64
-	}
-	msgs := make([]decoded, 0, len(inv.Messages))
+	msgs := make([]decodedMsg, 0, len(inv.Messages))
 	shard := 0
 	acksOnly := true
 	for _, m := range inv.Messages {
@@ -44,7 +45,7 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 		if msg.Op != OpDeregister {
 			acksOnly = false
 		}
-		msgs = append(msgs, decoded{msg: msg, txid: shardTxid(m.SeqNo, msg.Shard, d.NumShards())})
+		msgs = append(msgs, decodedMsg{msg: msg, txid: shardTxid(m.SeqNo, msg.Shard, d.NumShards())})
 	}
 	if len(msgs) == 0 {
 		return nil
@@ -92,11 +93,19 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 		}
 	}
 	var completions []watchCompletion
-	for _, dm := range msgs {
-		tTotal := d.K.Now()
-		comps := d.leaderProcess(ctx, dm.msg, dm.txid, epochs)
-		completions = append(completions, comps...)
-		d.recordPhase("leader.total", d.K.Now()-tTotal)
+	if d.Cfg.BatchWrites {
+		// Batching distributor: per-message commit phases fold into one
+		// (or a few, per MaxBatch) batch-level distributions. The paper's
+		// per-message path below stays untouched — with BatchWrites off
+		// the pipeline is byte-identical (golden trace test).
+		completions = d.leaderProcessBatched(ctx, msgs, epochs)
+	} else {
+		for _, dm := range msgs {
+			tTotal := d.K.Now()
+			comps := d.leaderProcess(ctx, dm.msg, dm.txid, epochs)
+			completions = append(completions, comps...)
+			d.recordPhase("leader.total", d.K.Now()-tTotal)
+		}
 	}
 	// WaitAll(WatchCallback): every delivery completes before the function
 	// returns, and its id leaves the epoch counter (➏).
@@ -182,24 +191,39 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 	d.notifyResult(msg, txid, CodeOK, stat)
 	d.recordPhase("leader.notify", d.K.Now()-t0)
 
-	// ➎ Pop the transaction from the node's pending list; once empty on a
-	// deleted node, garbage collect the tombstone.
-	t0 = d.K.Now()
+	d.popPending(ctx, msg, txid, true)
+	return comps
+}
+
+// popPending is step ➎: pop the transaction from the node's pending list;
+// once empty on a deleted node, garbage collect the tombstone (gc false
+// suppresses the collection — the batched pipeline passes it when a later
+// operation in the same invocation targets the path, whose commit may not
+// have appended to the pending list yet).
+func (d *Deployment) popPending(ctx cloud.Ctx, msg leaderMsg, txid int64, gc bool) {
+	t0 := d.K.Now()
 	key := nodeKey(msg.Path)
 	it, err := d.System.Update(ctx, key,
 		[]kv.Update{kv.ListPopHead{Name: attrPending}},
 		kv.NumListHeadEq{Name: attrPending, V: txid})
-	if err == nil && msg.Op == OpDelete {
+	if err == nil && gc && msg.Op == OpDelete {
 		after := decodeSysNode(it)
 		if !after.Exists && len(after.Pending) == 0 {
+			// The lock guard keeps the collection from racing a pipelined
+			// re-create: a follower validating create-after-delete holds
+			// the node lock from before its push until its commit, and
+			// deleting the item in that window would strand the commit
+			// (its conditional update needs the lock attribute to
+			// survive). A locked tombstone is simply left for the next
+			// delete's collection.
 			_ = d.System.Delete(ctx, key, kv.And{
 				kv.Eq{Name: attrExists, V: kv.N(0)},
 				kv.Eq{Name: attrPending, V: kv.NumList()},
+				kv.AttrNotExists{Name: "lock"},
 			})
 		}
 	}
 	d.recordPhase("leader.pop", d.K.Now()-t0)
-	return comps
 }
 
 // deregAckComplete processes one shard's deregistration ack and reports
@@ -317,31 +341,40 @@ func (d *Deployment) tryCommit(ctx cloud.Ctx, msg leaderMsg, txid int64) bool {
 	return false
 }
 
+// buildUserNode assembles the user-store object for one committed change:
+// the follower's marshaled node patched with the transaction stamps only
+// the leader knows. The version comes from the message, not from the
+// system store: with pipelined writes the store may already reflect later
+// commits. Nil for deletes (and undecodable blobs).
+func (d *Deployment) buildUserNode(msg leaderMsg, txid int64, node sysNode) *znode.Node {
+	if msg.Op == OpDelete {
+		return nil
+	}
+	n, _, err := znode.Unmarshal(msg.NodeBlob)
+	if err != nil {
+		return nil
+	}
+	n.Stat.Mzxid = txid
+	n.Stat.Version = msg.Version
+	n.Stat.Czxid = node.Czxid
+	if msg.Op == OpCreate {
+		n.Stat.Czxid = txid
+		n.Stat.Version = 0
+	}
+	n.Stat.Cversion = node.Cversion
+	n.Stat.Pzxid = node.Pzxid
+	n.Stat.DataLength = int32(len(n.Data))
+	n.Children = node.Children
+	n.Stat.NumChildren = int32(len(node.Children))
+	return n
+}
+
 // updateUserStores writes the change to every region in parallel and
 // returns the client-visible Stat.
 func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, node sysNode, epochs map[cloud.Region][]int64) znode.Stat {
-	var newNode *znode.Node
-	if msg.Op != OpDelete {
-		n, _, err := znode.Unmarshal(msg.NodeBlob)
-		if err != nil {
-			return znode.Stat{}
-		}
-		// Patch the transaction stamps only the leader knows. The version
-		// comes from the message, not from the system store: with
-		// pipelined writes the store may already reflect later commits.
-		n.Stat.Mzxid = txid
-		n.Stat.Version = msg.Version
-		n.Stat.Czxid = node.Czxid
-		if msg.Op == OpCreate {
-			n.Stat.Czxid = txid
-			n.Stat.Version = 0
-		}
-		n.Stat.Cversion = node.Cversion
-		n.Stat.Pzxid = node.Pzxid
-		n.Stat.DataLength = int32(len(n.Data))
-		n.Children = node.Children
-		n.Stat.NumChildren = int32(len(node.Children))
-		newNode = n
+	newNode := d.buildUserNode(msg, txid, node)
+	if msg.Op != OpDelete && newNode == nil {
+		return znode.Stat{}
 	}
 
 	// A parent is colocated with its children on one shard — except the
@@ -354,17 +387,7 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 	if d.NumShards() > 1 && msg.Path == znode.Root && newNode != nil {
 		lock := d.acquireRootLock(ctx)
 		defer func() { _ = d.Locks.Release(ctx, lock) }()
-		if it, ok := d.System.Get(ctx, nodeKey(znode.Root), true); ok {
-			fresh := decodeSysNode(it)
-			newNode.Children = fresh.Children
-			newNode.Stat.NumChildren = int32(len(fresh.Children))
-			if fresh.Cversion > newNode.Stat.Cversion {
-				newNode.Stat.Cversion = fresh.Cversion
-			}
-			if fresh.Pzxid > newNode.Stat.Pzxid {
-				newNode.Stat.Pzxid = fresh.Pzxid
-			}
-		}
+		d.refreshRootFromSystem(ctx, newNode)
 	}
 
 	wg := sim.NewWaitGroup(d.K)
@@ -413,30 +436,29 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 }
 
 // applyParentRMW rebuilds the parent's user-store object in one region:
-// read, splice the child list, raise the stamps, write back.
+// read, splice the child list, raise the stamps, write back. The splice
+// itself is spliceInto's shared rule set — applied idempotently (a root
+// data write may have refreshed the child list from the system store
+// while this splice was queued) with only-raised stamps (within a shard
+// they are monotone anyway, and on the shared root two shards may apply
+// their updates out of global txid order).
 func (d *Deployment) applyParentRMW(ctx cloud.Ctx, s UserStore, msg leaderMsg, txid int64, stamp []int64) {
 	parent, _, err := s.Read(ctx, msg.ParentPath)
 	if err != nil {
 		return
 	}
-	// Append idempotently: a root data write may have refreshed the child
-	// list from the system store while this splice was queued.
-	if msg.ChildAdd != "" && !slices.Contains(parent.Children, msg.ChildAdd) {
-		parent.Children = append(parent.Children, msg.ChildAdd)
+	pf := &parentFold{present: map[string]bool{}}
+	if msg.ChildAdd != "" {
+		pf.names = append(pf.names, msg.ChildAdd)
+		pf.present[msg.ChildAdd] = true
 	}
 	if msg.ChildDel != "" {
-		parent.Children = removeString(parent.Children, msg.ChildDel)
+		pf.names = append(pf.names, msg.ChildDel)
+		pf.present[msg.ChildDel] = false
 	}
-	// Only raise the stamps: within a shard they are monotone anyway, and
-	// on the shared root two shards may apply their updates out of global
-	// txid order.
-	if msg.Cversion > parent.Stat.Cversion {
-		parent.Stat.Cversion = msg.Cversion
-	}
-	if txid > parent.Stat.Pzxid {
-		parent.Stat.Pzxid = txid
-	}
-	parent.Stat.NumChildren = int32(len(parent.Children))
+	pf.cversion = msg.Cversion
+	pf.pzxid = txid
+	spliceInto(parent, pf)
 	// The rebuilt parent object is about to replace the cached copy whose
 	// child list is now stale; invalidate before the write becomes
 	// readable (same ordering argument as the node update above).
@@ -464,6 +486,26 @@ func (d *Deployment) appendEpochs(ctx cloud.Ctx, fired []firedWatch, shard int, 
 			}
 			epochs[r] = append(epochs[r], f.wid)
 		}
+	}
+}
+
+// refreshRootFromSystem overwrites a root object's child list (and raises
+// its child stamps) from the system store, the source of truth. Must run
+// under the root lock: a full-object root write racing another shard's
+// child splice would otherwise revert the child list.
+func (d *Deployment) refreshRootFromSystem(ctx cloud.Ctx, n *znode.Node) {
+	it, ok := d.System.Get(ctx, nodeKey(znode.Root), true)
+	if !ok {
+		return
+	}
+	fresh := decodeSysNode(it)
+	n.Children = fresh.Children
+	n.Stat.NumChildren = int32(len(fresh.Children))
+	if fresh.Cversion > n.Stat.Cversion {
+		n.Stat.Cversion = fresh.Cversion
+	}
+	if fresh.Pzxid > n.Stat.Pzxid {
+		n.Stat.Pzxid = fresh.Pzxid
 	}
 }
 

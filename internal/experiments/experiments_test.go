@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab1", "fig4a", "fig4b", "fig5", "tab6a", "fig6b",
 		"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
 		"tab3", "fig11", "fig12", "fig13", "tab4", "fig14", "sec532x",
-		"ablations", "sharding", "caching",
+		"ablations", "sharding", "caching", "batching",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -422,5 +422,55 @@ func TestSec532x(t *testing.T) {
 	full, _ := strconv.ParseFloat(strings.TrimPrefix(rows[1][2], "$"), 64)
 	if small >= full {
 		t.Errorf("0.33 vCPU cost ($%v) should be below 1 vCPU ($%v)", small, full)
+	}
+}
+
+func TestBatchingFoldsHotWrites(t *testing.T) {
+	rep := runQuick(t, "batching")
+	if len(rep.Sections) != 3 {
+		t.Fatalf("expected uniform, hot-node, and churn sections, got %d", len(rep.Sections))
+	}
+	parse := func(row []string) (tput, storeWr, cost float64) {
+		tput, err1 := strconv.ParseFloat(row[1], 64)
+		storeWr, err2 := strconv.ParseFloat(row[3], 64)
+		cost, err3 := strconv.ParseFloat(strings.TrimPrefix(row[7], "$"), 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if row[8] != "0" {
+			t.Errorf("ordering violations in %q: %s", row[0], row[8])
+		}
+		return
+	}
+	// Hot-node acceptance: the batched distributor must at least halve the
+	// user-store write calls, cut $/1M writes, and raise throughput, with
+	// zero per-op ordering violations anywhere.
+	hot := rep.Sections[1].Rows
+	offTput, offWr, offCost := parse(hot[0])
+	onTput, onWr, onCost := parse(hot[1])
+	if onWr > offWr/2 {
+		t.Errorf("batched hot-node store writes/op = %.2f, want <= half of %.2f", onWr, offWr)
+	}
+	if onCost >= offCost {
+		t.Errorf("batched hot-node $/1M = %.4f, want below %.4f", onCost, offCost)
+	}
+	if onTput <= offTput {
+		t.Errorf("batched hot-node throughput %.1f/s, want above %.1f/s", onTput, offTput)
+	}
+	// Churn: one parent RMW per batch instead of one per create/delete
+	// must show up as fewer store writes per op.
+	churn := rep.Sections[2].Rows
+	_, cOffWr, _ := parse(churn[0])
+	_, cOnWr, _ := parse(churn[1])
+	if cOnWr >= cOffWr {
+		t.Errorf("batched churn store writes/op = %.2f, want below %.2f", cOnWr, cOffWr)
+	}
+	// Uniform traffic must stay correct (violations checked in parse) and
+	// keep its per-op store write (nothing to fold across distinct nodes).
+	uni := rep.Sections[0].Rows
+	_, uOffWr, _ := parse(uni[0])
+	_, uOnWr, _ := parse(uni[1])
+	if uOffWr != 1 || uOnWr != 1 {
+		t.Errorf("uniform store writes/op = %.2f/%.2f, want 1.00 both", uOffWr, uOnWr)
 	}
 }
