@@ -86,6 +86,9 @@ func BenchmarkCachingReadTier(b *testing.B) { benchExperiment(b, "caching") }
 // Batching distributor (beyond the paper).
 func BenchmarkBatchingDistributor(b *testing.B) { benchExperiment(b, "batching") }
 
+// Cross-shard multi() transactions (beyond the paper).
+func BenchmarkTxnCoordinator(b *testing.B) { benchExperiment(b, "txn") }
+
 // --- micro-benchmarks of the implementation itself (real time) ---
 
 // BenchmarkSimKernelEvents measures raw simulator event throughput.
@@ -292,6 +295,66 @@ func BenchmarkFKBatchedWritePath(b *testing.B) {
 	k.Run()
 	k.Shutdown()
 	b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/op")
+}
+
+// BenchmarkFKMultiTxn measures full multi() round trips at 1, 2, and 4
+// participant shards on a 4-shard transactional deployment: the 1-shard
+// sub-benchmark is the fast path through the leader commit phase, the
+// others pay the two-phase commit across leader pipelines. vsec/op makes
+// the coordination cost directly comparable across the sub-benchmarks
+// (and with BenchmarkFKWritePath's single set_data).
+func BenchmarkFKMultiTxn(b *testing.B) {
+	for _, spread := range []int{1, 2, 4} {
+		spread := spread
+		b.Run(fmt.Sprintf("shards%d", spread), func(b *testing.B) {
+			k := sim.NewKernel(1)
+			d := core.NewDeployment(k, core.Config{
+				EnableTxn: true, WriteShards: 4, UserStore: core.StoreKV,
+			})
+			b.ReportAllocs()
+			var virtual time.Duration
+			k.Go("bench", func() {
+				c, err := fkclient.Connect(d, "bench", d.Cfg.Profile.Home)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				// One path per shard residue, so a multi over paths[:spread]
+				// spans exactly spread shards.
+				paths := make([]string, 0, spread)
+				next := 0
+				for len(paths) < spread {
+					p := fmt.Sprintf("/b%d", next)
+					next++
+					if core.ShardOf(p, 4) == len(paths) {
+						paths = append(paths, p)
+					}
+				}
+				for _, p := range paths {
+					if _, err := c.Create(p, nil, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				payload := make([]byte, 1024)
+				b.ResetTimer()
+				start := k.Now()
+				for i := 0; i < b.N; i++ {
+					ops := make([]MultiOp, 0, spread)
+					for _, p := range paths {
+						ops = append(ops, SetDataOp(p, payload, int32(i)))
+					}
+					if _, err := c.Multi(ops...); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				virtual = k.Now() - start
+			})
+			k.Run()
+			k.Shutdown()
+			b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/op")
+		})
+	}
 }
 
 // BenchmarkFKCachedReadPath measures simulated get_data round trips

@@ -7,9 +7,13 @@
 //	fkcli create /app hello
 //	fkcli create /app/cfg v1 : get /app/cfg : set /app/cfg v2 : get /app/cfg
 //	fkcli -gcp -store hybrid create /x data : ls /
+//	fkcli -txn -shards 4 multi check /a 0 ";" set /a v2 ";" create /b x
 //
 // Commands (separated by ":"): create PATH [DATA] [eph] [seq],
-// get PATH, set PATH DATA, del PATH, ls PATH, stat PATH, watch PATH.
+// get PATH, set PATH DATA, del PATH, ls PATH, stat PATH, watch PATH,
+// multi SUBOP [";" SUBOP]... — sub-ops (separated by ";") are
+// create PATH [DATA] [eph] [seq], set PATH DATA [VERSION],
+// del PATH [VERSION], check PATH [VERSION]; requires -txn.
 package main
 
 import (
@@ -26,6 +30,8 @@ func main() {
 	gcp := flag.Bool("gcp", false, "deploy the GCP profile")
 	store := flag.String("store", "object", "user store: object|kv|hybrid|mem")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	shards := flag.Int("shards", 1, "leader write shards (1 = paper-faithful)")
+	txnOn := flag.Bool("txn", false, "enable multi() transactions")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -52,8 +58,10 @@ func main() {
 
 	s := faaskeeper.NewSimulation(*seed)
 	d := s.DeployFaaSKeeper(faaskeeper.DeploymentOptions{
-		GCP:       *gcp,
-		UserStore: faaskeeper.StoreKind(*store),
+		GCP:         *gcp,
+		UserStore:   faaskeeper.StoreKind(*store),
+		WriteShards: *shards,
+		EnableTxn:   *txnOn,
 	})
 	exit := 0
 	s.Go(func() {
@@ -81,6 +89,9 @@ func main() {
 func run(s *faaskeeper.Simulation, c *faaskeeper.Client, cmd []string) error {
 	if len(cmd) < 2 {
 		return fmt.Errorf("need a path")
+	}
+	if cmd[0] == "multi" {
+		return runMulti(c, cmd[1:])
 	}
 	op, path := cmd[0], cmd[1]
 	switch op {
@@ -150,4 +161,109 @@ func run(s *faaskeeper.Simulation, c *faaskeeper.Client, cmd []string) error {
 		return fmt.Errorf("unknown command %q", op)
 	}
 	return nil
+}
+
+// runMulti parses ";"-separated sub-ops and submits them as one atomic
+// transaction, printing each sub-op's outcome.
+func runMulti(c *faaskeeper.Client, args []string) error {
+	var ops []faaskeeper.MultiOp
+	var cur []string
+	flush := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		op, err := parseSubOp(cur)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, op)
+		cur = nil
+		return nil
+	}
+	for _, a := range args {
+		if a == ";" {
+			if err := flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		cur = append(cur, a)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if len(ops) == 0 {
+		return fmt.Errorf("multi needs at least one sub-op")
+	}
+	results, err := c.Multi(ops...)
+	for i, r := range results {
+		switch {
+		case r.Code == "ok" && r.Txid != 0:
+			fmt.Printf("  [%d] %s %s ok (txid %d, version %d)\n", i, r.Type, r.Path, r.Txid, r.Stat.Version)
+		case r.Code == "ok":
+			fmt.Printf("  [%d] %s %s ok\n", i, r.Type, r.Path)
+		default:
+			fmt.Printf("  [%d] %s %s FAILED: %s\n", i, r.Type, r.Path, r.Code)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multi committed: %d ops\n", len(ops))
+	return nil
+}
+
+// parseSubOp parses one sub-op token list.
+func parseSubOp(tok []string) (faaskeeper.MultiOp, error) {
+	if len(tok) < 2 {
+		return faaskeeper.MultiOp{}, fmt.Errorf("sub-op needs a path: %v", tok)
+	}
+	version := func(idx int) (int32, error) {
+		if len(tok) <= idx {
+			return -1, nil
+		}
+		var v int32
+		if _, err := fmt.Sscanf(tok[idx], "%d", &v); err != nil {
+			return 0, fmt.Errorf("bad version %q", tok[idx])
+		}
+		return v, nil
+	}
+	switch tok[0] {
+	case "create":
+		data := ""
+		var flags faaskeeper.Flags
+		for _, a := range tok[2:] {
+			switch a {
+			case "eph":
+				flags |= faaskeeper.FlagEphemeral
+			case "seq":
+				flags |= faaskeeper.FlagSequential
+			default:
+				data = a
+			}
+		}
+		return faaskeeper.CreateOp(tok[1], []byte(data), flags), nil
+	case "set":
+		if len(tok) < 3 {
+			return faaskeeper.MultiOp{}, fmt.Errorf("set needs data")
+		}
+		v, err := version(3)
+		if err != nil {
+			return faaskeeper.MultiOp{}, err
+		}
+		return faaskeeper.SetDataOp(tok[1], []byte(tok[2]), v), nil
+	case "del":
+		v, err := version(2)
+		if err != nil {
+			return faaskeeper.MultiOp{}, err
+		}
+		return faaskeeper.DeleteOp(tok[1], v), nil
+	case "check":
+		v, err := version(2)
+		if err != nil {
+			return faaskeeper.MultiOp{}, err
+		}
+		return faaskeeper.CheckOp(tok[1], v), nil
+	}
+	return faaskeeper.MultiOp{}, fmt.Errorf("unknown sub-op %q", tok[0])
 }

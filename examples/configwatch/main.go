@@ -3,6 +3,13 @@
 // updates through watches, while an operator occasionally rolls out new
 // versions. Request volume is tiny and bursty: exactly the workload where
 // a serverless deployment costs a fraction of three always-on VMs.
+//
+// The whole configuration lives in ONE node here, so each rollout is a
+// single atomic set_data. A config split across several nodes must NOT be
+// rolled out as sequential set_data calls — readers would observe torn
+// half-updated states between them. See examples/atomicswap for the
+// multi() transaction that swaps a multi-node (even cross-shard) config
+// atomically.
 package main
 
 import (

@@ -31,6 +31,7 @@ import (
 	"faaskeeper/internal/core"
 	"faaskeeper/internal/fkclient"
 	"faaskeeper/internal/sim"
+	"faaskeeper/internal/txn"
 	"faaskeeper/internal/zk"
 	"faaskeeper/internal/znode"
 )
@@ -55,10 +56,32 @@ const (
 
 // Client-facing errors.
 var (
-	ErrNodeExists = core.ErrNodeExists
-	ErrNoNode     = core.ErrNoNode
-	ErrBadVersion = core.ErrBadVersion
-	ErrNotEmpty   = core.ErrNotEmpty
+	ErrNodeExists  = core.ErrNodeExists
+	ErrNoNode      = core.ErrNoNode
+	ErrBadVersion  = core.ErrBadVersion
+	ErrNotEmpty    = core.ErrNotEmpty
+	ErrTxnAborted  = core.ErrTxnAborted
+	ErrTxnDisabled = core.ErrTxnDisabled
+)
+
+// Transaction types (Client.Multi; requires DeploymentOptions.EnableTxn).
+type (
+	// MultiOp is one sub-operation of a transaction.
+	MultiOp = txn.Op
+	// MultiResult is one sub-operation's outcome.
+	MultiResult = txn.Result
+)
+
+// Transaction sub-op constructors, mirroring ZooKeeper's multi vocabulary.
+var (
+	// CreateOp builds a create sub-op.
+	CreateOp = txn.Create
+	// SetDataOp builds a set_data sub-op (version -1 matches any).
+	SetDataOp = txn.SetData
+	// DeleteOp builds a delete sub-op (version -1 matches any).
+	DeleteOp = txn.Delete
+	// CheckOp builds a version guard (-1 checks bare existence).
+	CheckOp = txn.Check
 )
 
 // Simulation owns the virtual-time kernel everything runs in.
@@ -160,6 +183,14 @@ type DeploymentOptions struct {
 	ClientCacheCapacityB int
 	// CacheTTL bounds client-cache staleness (default 5 s).
 	CacheTTL time.Duration
+	// EnableTxn enables ZooKeeper-style multi() transactions: atomic
+	// multi-op commits via Client.Multi, coordinated across sharded
+	// leader pipelines with a two-phase commit where the ops span shards
+	// (single-shard multis take a fast path with no 2PC overhead).
+	// Default false — multi() is rejected and the paper pipeline is
+	// untouched. See the "txn" experiment for commit latency and abort
+	// behavior versus participant-shard count.
+	EnableTxn bool
 }
 
 // Deployment is a running FaaSKeeper instance.
@@ -188,6 +219,7 @@ func (s *Simulation) DeployFaaSKeeper(opts DeploymentOptions) *Deployment {
 		CacheCapacityB:       opts.CacheCapacityB,
 		ClientCacheCapacityB: opts.ClientCacheCapacityB,
 		CacheTTL:             opts.CacheTTL,
+		EnableTxn:            opts.EnableTxn,
 	}
 	if opts.ARM {
 		cfg.Arch = faas.ARM

@@ -12,6 +12,7 @@ import (
 	"faaskeeper/internal/fksync"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/stats"
+	"faaskeeper/internal/txn"
 	"faaskeeper/internal/znode"
 )
 
@@ -86,6 +87,21 @@ type Config struct {
 	// fold (0 = the whole invocation batch, itself bounded by the queue
 	// technology's receive limit). Only meaningful with BatchWrites.
 	MaxBatch int
+
+	// EnableTxn enables ZooKeeper-style multi() transactions (package
+	// txn): single-shard multis take a fast path through the leader
+	// commit phase (one leader message, one multi-item system-store
+	// transaction), and multis spanning shards run a two-phase commit
+	// across the per-shard leader pipelines — prepare places intent locks
+	// on the touched node items and votes through a storage-backed
+	// barrier, a durable transaction record makes the decision
+	// recoverable by queue redelivery, and the commit applies every
+	// user-store write of the transaction in one atomic batch where the
+	// backend supports it. Default false — multi() is rejected and no
+	// transaction state ever touches the paper-faithful pipeline (the
+	// golden trace stays byte-identical even with EnableTxn on, as long
+	// as no multi() is issued).
+	EnableTxn bool
 
 	// CacheMode enables the read-path cache tier (package cache): a
 	// shared regional cache node fronting each region's user store,
@@ -195,6 +211,11 @@ type Deployment struct {
 	Locks  *fksync.LockManager
 	Stores []UserStore // [0] is the home-region primary
 
+	// Txns manages the durable transaction records of multi()
+	// coordinators (package txn). Always non-nil; unused — and therefore
+	// costless — unless Cfg.EnableTxn.
+	Txns *txn.Store
+
 	// Caches holds one regional cache node per user store (aligned with
 	// Stores); empty when CacheMode is CacheOff.
 	Caches []*cache.Regional
@@ -245,6 +266,7 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 	}
 	d.System.SetCostCategory("syskv")
 	d.Locks = fksync.NewLockManager(env, d.System, cfg.LockLease)
+	d.Txns = txn.NewStore(d.System, k)
 
 	regions := append([]cloud.Region{cfg.Profile.Home}, cfg.ExtraRegions...)
 	for _, r := range regions {

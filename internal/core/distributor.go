@@ -168,19 +168,51 @@ func (d *Deployment) leaderProcessBatched(ctx cloud.Ctx, msgs []decodedMsg, epoc
 	// window with its distribution latency; the batch knows outright.
 	later := map[string]int{}
 	for _, dm := range msgs {
-		if dm.msg.Op != OpDeregister {
+		switch dm.msg.Op {
+		case OpDeregister:
+		case OpMulti, OpTxnCommit:
+			// Transaction targets count toward the lookahead too, so a
+			// batched delete before them never collects a tombstone the
+			// transaction's commit still needs. The transaction itself
+			// never decrements — at worst a tombstone lingers until the
+			// next delete's collection, the lock-guard precedent.
+			if tm, err := decodeTxnMsg(dm.msg.NodeBlob); err == nil {
+				for _, p := range txnTargets(tm.Ops) {
+					later[p]++
+				}
+			}
+		default:
 			later[dm.msg.Path]++
 		}
 	}
-	chunk := d.Cfg.MaxBatch
-	if chunk <= 0 || chunk > len(msgs) {
-		chunk = len(msgs)
-	}
 	var completions []watchCompletion
-	for start := 0; start < len(msgs); start += chunk {
-		end := min(start+chunk, len(msgs))
-		completions = append(completions, d.flushBatch(ctx, msgs[start:end], later, epochs)...)
+	var run []decodedMsg
+	flushRun := func() {
+		if len(run) == 0 {
+			return
+		}
+		chunk := d.Cfg.MaxBatch
+		if chunk <= 0 || chunk > len(run) {
+			chunk = len(run)
+		}
+		for start := 0; start < len(run); start += chunk {
+			end := min(start+chunk, len(run))
+			completions = append(completions, d.flushBatch(ctx, run[start:end], later, epochs)...)
+		}
+		run = nil
 	}
+	for _, dm := range msgs {
+		// Transaction messages are fold barriers: their distribution has
+		// its own atomicity protocol, so the accumulated run flushes
+		// first and the message runs through the per-message pipeline.
+		if dm.msg.Op == OpMulti || dm.msg.Op == OpTxnCommit {
+			flushRun()
+			completions = append(completions, d.leaderProcess(ctx, dm.msg, dm.txid, epochs)...)
+			continue
+		}
+		run = append(run, dm)
+	}
+	flushRun()
 	return completions
 }
 
@@ -197,7 +229,7 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 	}
 
 	t0 := d.K.Now()
-	d.distribute(ctx, fold, epochs)
+	d.distributeFold(ctx, fold, epochs, false)
 	d.recordPhase("leader.update", d.K.Now()-t0)
 
 	var completions []watchCompletion
@@ -275,10 +307,15 @@ func (d *Deployment) commitOne(ctx cloud.Ctx, dm decodedMsg, fold *batchFold, la
 	return opResult{msg: msg, txid: txid, code: CodeOK, stat: stat, fired: fired}
 }
 
-// distribute is the batch-level ➌: one coalesced invalidation record, the
-// final state of every touched node, and one read-modify-write per parent,
-// per region in parallel.
-func (d *Deployment) distribute(ctx cloud.Ctx, fold *batchFold, epochs map[cloud.Region][]int64) {
+// distributeFold is the batch-level ➌: one coalesced invalidation record,
+// the final state of every touched node, and one read-modify-write per
+// parent, per region in parallel. atomicApply is the transaction commit
+// point (package txn): node writes go through the store's AtomicApplier
+// when it has one, becoming readable at a single instant; stores without
+// multi-key transactions (the object store) fall back to writing in fold
+// order, so readers observe a prefix of the transaction, never an
+// arbitrary mix.
+func (d *Deployment) distributeFold(ctx cloud.Ctx, fold *batchFold, epochs map[cloud.Region][]int64, atomicApply bool) {
 	if len(fold.order) == 0 && len(fold.parentOrder) == 0 {
 		return
 	}
@@ -338,12 +375,25 @@ func (d *Deployment) distribute(ctx cloud.Ctx, fold *batchFold, epochs map[cloud
 			if rc := d.CacheFor(s.Region()); rc != nil {
 				rc.InvalidateBatch(ctx, fold.invalidations(rootPF, stamp))
 			}
-			for _, p := range fold.order {
-				nf := fold.nodes[p]
-				if nf.del {
-					_ = s.Delete(ctx, p)
-				} else {
-					_ = s.Write(ctx, nf.node, stamp)
+			if aa, atomic := s.(AtomicApplier); atomicApply && atomic {
+				writes := make([]BatchWrite, 0, len(fold.order))
+				for _, p := range fold.order {
+					nf := fold.nodes[p]
+					if nf.del {
+						writes = append(writes, BatchWrite{Path: p})
+					} else {
+						writes = append(writes, BatchWrite{Path: p, Node: nf.node, Epoch: stamp})
+					}
+				}
+				_ = aa.ApplyBatch(ctx, writes)
+			} else {
+				for _, p := range fold.order {
+					nf := fold.nodes[p]
+					if nf.del {
+						_ = s.Delete(ctx, p)
+					} else {
+						_ = s.Write(ctx, nf.node, stamp)
+					}
 				}
 			}
 			for _, p := range fold.parentOrder {

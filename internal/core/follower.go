@@ -50,6 +50,8 @@ func (d *Deployment) processRequest(ctx cloud.Ctx, req Request) error {
 		err = d.followerDelete(ctx, req)
 	case OpDeregister:
 		err = d.followerDeregister(ctx, req)
+	case OpMulti:
+		err = d.followerMulti(ctx, req)
 	default:
 		d.respondFailure(req, CodeSystemError)
 	}
@@ -80,7 +82,7 @@ func (d *Deployment) followerSetData(ctx cloud.Ctx, req Request) error {
 		d.respondFailure(req, CodeTooLarge)
 		return nil
 	}
-	lock, node, err := d.lockNode(ctx, req.Path)
+	lock, node, err := d.lockNodeClean(ctx, req.Path, 0)
 	if err != nil {
 		d.respondFailure(req, CodeSystemError)
 		return nil
@@ -140,7 +142,7 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 	parentPath := znode.Parent(req.Path)
 	// Lock parent first, node second: a uniform top-down order prevents
 	// deadlocks between concurrent creates/deletes.
-	parentLock, parent, err := d.lockNode(ctx, parentPath)
+	parentLock, parent, err := d.lockNodeClean(ctx, parentPath, 0)
 	if err != nil {
 		d.respondFailure(req, CodeSystemError)
 		return nil
@@ -163,7 +165,7 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 	}
 	name := znode.Base(finalPath)
 
-	nodeLock, node, err := d.lockNode(ctx, finalPath)
+	nodeLock, node, err := d.lockNodeClean(ctx, finalPath, 0)
 	if err != nil {
 		d.unlockAll(ctx, parentLock)
 		d.respondFailure(req, CodeSystemError)
@@ -231,6 +233,14 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 // createNodeUpdates is the follower's node-item commit; the leader's
 // TryCommit reconstructs exactly the same updates.
 func createNodeUpdates(txid int64, owner string) []kv.Update {
+	return append(createNodeBase(txid, owner),
+		kv.ListAppend{Name: attrPending, Vals: []int64{txid}})
+}
+
+// createNodeBase is the create commit without the pending append — the
+// transaction path appends the pending entry once per node, even when
+// several sub-ops touch it.
+func createNodeBase(txid int64, owner string) []kv.Update {
 	ups := []kv.Update{
 		kv.Set{Name: attrExists, V: kv.N(1)},
 		kv.Set{Name: attrVersion, V: kv.N(0)},
@@ -239,7 +249,6 @@ func createNodeUpdates(txid int64, owner string) []kv.Update {
 		kv.Set{Name: attrMzxid, V: kv.N(txid)},
 		kv.Set{Name: attrPzxid, V: kv.N(txid)},
 		kv.Set{Name: attrChildren, V: kv.StrList()},
-		kv.ListAppend{Name: attrPending, Vals: []int64{txid}},
 	}
 	if owner != "" {
 		ups = append(ups, kv.Set{Name: attrEph, V: kv.S(owner)})
@@ -262,12 +271,12 @@ func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) error {
 		return nil
 	}
 	parentPath := znode.Parent(req.Path)
-	parentLock, parent, err := d.lockNode(ctx, parentPath)
+	parentLock, parent, err := d.lockNodeClean(ctx, parentPath, 0)
 	if err != nil {
 		d.respondFailure(req, CodeSystemError)
 		return nil
 	}
-	nodeLock, node, err := d.lockNode(ctx, req.Path)
+	nodeLock, node, err := d.lockNodeClean(ctx, req.Path, 0)
 	if err != nil {
 		d.unlockAll(ctx, parentLock)
 		d.respondFailure(req, CodeSystemError)
@@ -325,11 +334,17 @@ func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) error {
 // so the leader can track the pending transaction; the leader garbage
 // collects it after the pop.
 func deleteNodeUpdates(txid int64) []kv.Update {
+	return append(deleteNodeBase(txid),
+		kv.ListAppend{Name: attrPending, Vals: []int64{txid}})
+}
+
+// deleteNodeBase is the delete commit without the pending append (see
+// createNodeBase).
+func deleteNodeBase(txid int64) []kv.Update {
 	return []kv.Update{
 		kv.Set{Name: attrExists, V: kv.N(0)},
 		kv.Set{Name: attrMzxid, V: kv.N(txid)},
 		kv.Remove{Name: attrEph},
-		kv.ListAppend{Name: attrPending, Vals: []int64{txid}},
 	}
 }
 
@@ -425,12 +440,15 @@ func (d *Deployment) pushToShard(ctx cloud.Ctx, msg leaderMsg) (int64, error) {
 	if errors.Is(err, queue.ErrTooLarge) {
 		return 0, errMsgTooLarge
 	}
-	if err == nil && msg.Seq > 0 && msg.Op != OpDeregister {
+	if err == nil && msg.Seq > 0 && msg.Op != OpDeregister && msg.Op != OpTxnCommit {
 		// Once pushed, the leader will complete (or TryCommit) this
 		// request even if we crash right here — mark it processed so a
 		// queue retry does not apply it a second time. Deregister acks are
 		// excluded: their fanout must complete as a whole before the
 		// request counts as processed (processRequest marks it then).
+		// Cross-shard commit messages are excluded for the same reason: a
+		// coordinator that crashes between shard pushes must be redriven
+		// by redelivery until the whole transaction is applied.
 		d.lastSeq[msg.Session] = msg.Seq
 	}
 	return shardTxid(seqNo, msg.Shard, d.NumShards()), err

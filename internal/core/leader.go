@@ -125,6 +125,18 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 }
 
 func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epochs map[cloud.Region][]int64) []watchCompletion {
+	if msg.Op == OpMulti || msg.Op == OpTxnCommit {
+		tm, err := decodeTxnMsg(msg.NodeBlob)
+		if err != nil {
+			return nil
+		}
+		if msg.Op == OpMulti {
+			// A single-shard multi(): the fast path's leader commit phase.
+			return d.leaderProcessMulti(ctx, msg, tm, txid, epochs)
+		}
+		// One shard's share of a cross-shard transaction commit.
+		return d.leaderTxnCommit(ctx, msg, tm, txid, epochs)
+	}
 	if msg.Op == OpDeregister {
 		if d.deregAckComplete(ctx, msg) {
 			d.notifyResult(msg, txid, CodeOK, znode.Stat{})

@@ -42,6 +42,24 @@ const (
 	attrSeq      = "seq"
 	attrPending  = "pending"
 
+	// attrTxnIntent marks a node item claimed by an in-flight cross-shard
+	// transaction (package txn): the value is the transaction id. Unlike
+	// the timed lock it never lease-expires — only the transaction's
+	// commit or abort clears it, so a committed decision can always apply.
+	// Writers finding a foreign intent consult the transaction record and
+	// either clear a stale one or wait (see lockNodeClean).
+	attrTxnIntent = "txnintent"
+
+	// attrTxnCommitMark makes the cross-shard commit's per-item updates
+	// idempotent: the conditional commit requires the intent AND the mark
+	// to be absent for this transaction id, so the coordinator and a
+	// leader replaying on its behalf can race without double-applying.
+	// Both attributes are cleared together after the transaction's
+	// user-store apply — the intent stays up to that point so no
+	// conflicting write can slip between a shard's commit and the
+	// atomic apply.
+	attrTxnCommitMark = "txnmark"
+
 	attrSessionEph  = "eph"
 	attrSessionReg  = "reg"
 	attrSessionAddr = "addr"
@@ -67,16 +85,17 @@ func epochKey(r cloud.Region, shard int) string {
 
 // sysNode is the decoded view of a per-node system item.
 type sysNode struct {
-	Exists   bool
-	Version  int32
-	Cversion int32
-	Czxid    int64
-	Mzxid    int64
-	Pzxid    int64
-	Children []string
-	EphOwner string
-	SeqCtr   int64
-	Pending  []int64
+	Exists    bool
+	Version   int32
+	Cversion  int32
+	Czxid     int64
+	Mzxid     int64
+	Pzxid     int64
+	Children  []string
+	EphOwner  string
+	SeqCtr    int64
+	Pending   []int64
+	TxnIntent int64 // in-flight transaction id holding this node (0 = none)
 }
 
 func decodeSysNode(it kv.Item) sysNode {
@@ -84,16 +103,17 @@ func decodeSysNode(it kv.Item) sysNode {
 		return sysNode{}
 	}
 	return sysNode{
-		Exists:   it[attrExists].Num == 1,
-		Version:  int32(it[attrVersion].Num),
-		Cversion: int32(it[attrCversion].Num),
-		Czxid:    it[attrCzxid].Num,
-		Mzxid:    it[attrMzxid].Num,
-		Pzxid:    it[attrPzxid].Num,
-		Children: it[attrChildren].SL,
-		EphOwner: it[attrEph].Str,
-		SeqCtr:   it[attrSeq].Num,
-		Pending:  it[attrPending].NL,
+		Exists:    it[attrExists].Num == 1,
+		Version:   int32(it[attrVersion].Num),
+		Cversion:  int32(it[attrCversion].Num),
+		Czxid:     it[attrCzxid].Num,
+		Mzxid:     it[attrMzxid].Num,
+		Pzxid:     it[attrPzxid].Num,
+		Children:  it[attrChildren].SL,
+		EphOwner:  it[attrEph].Str,
+		SeqCtr:    it[attrSeq].Num,
+		Pending:   it[attrPending].NL,
+		TxnIntent: it[attrTxnIntent].Num,
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"faaskeeper/internal/txn"
 	"faaskeeper/internal/znode"
 )
 
@@ -30,6 +31,14 @@ const (
 	OpSetData    OpCode = "set_data"
 	OpDelete     OpCode = "delete"
 	OpDeregister OpCode = "deregister" // session close / eviction
+
+	// OpMulti is a client multi() request; on the leader queue it carries a
+	// single-shard transaction's resolved sub-ops (the fast path).
+	OpMulti OpCode = "multi"
+	// OpTxnCommit is one shard's phase-two commit message of a cross-shard
+	// transaction (package txn): it orders the transaction within the
+	// shard's pipeline and carries the shard's resolved sub-ops.
+	OpTxnCommit OpCode = "txn_commit"
 )
 
 // Code is the result of a write request, following ZooKeeper's error
@@ -46,6 +55,7 @@ const (
 	CodeNoChildrenEph Code = "no_children_for_ephemerals"
 	CodeSystemError   Code = "system_error"
 	CodeTooLarge      Code = "too_large"
+	CodeTxnAborted    Code = "txn_aborted" // multi() rolled back: a sibling op failed
 )
 
 // Client-facing errors corresponding to result codes.
@@ -58,6 +68,8 @@ var (
 	ErrSystemError   = errors.New("faaskeeper: system error")
 	ErrTooLarge      = errors.New("faaskeeper: node data too large")
 	ErrSessionClosed = errors.New("faaskeeper: session closed")
+	ErrTxnAborted    = errors.New("faaskeeper: transaction aborted")
+	ErrTxnDisabled   = errors.New("faaskeeper: transactions disabled (Config.EnableTxn)")
 )
 
 // CodeError converts a result code to the client-facing error (nil for OK).
@@ -77,6 +89,8 @@ func CodeError(c Code) error {
 		return ErrNoChildrenEph
 	case CodeTooLarge:
 		return ErrTooLarge
+	case CodeTxnAborted:
+		return ErrTxnAborted
 	default:
 		return fmt.Errorf("%w: %s", ErrSystemError, c)
 	}
@@ -86,6 +100,10 @@ func CodeError(c Code) error {
 // The wire format is binary (gob): unlike JSON's base64 expansion, a
 // 250 kB payload stays within SQS's 256 kB message limit, which is exactly
 // how the paper sizes its maximum node (Section 4.4).
+// An OpMulti request carries its sub-operations (txn.EncodeOps) in Data:
+// riding the existing field keeps the gob type descriptor — and with it
+// the single-op wire format and the golden trace — byte-identical to the
+// paper pipeline's.
 type Request struct {
 	Session string
 	Seq     int64 // client-side FIFO sequence
@@ -147,6 +165,36 @@ type leaderMsg struct {
 	EphOwner string
 }
 
+// txnMsg is the transaction payload an OpMulti or OpTxnCommit leader
+// message carries in its NodeBlob field (like Request.Data, reusing the
+// existing field keeps the single-op gob encoding byte-identical). Ops
+// are the resolved sub-ops the message applies; ItemPaths/LockTs (fast
+// path only) list the locked system items and their timed-lock
+// timestamps, letting the leader replay the multi-item commit on behalf
+// of a crashed coordinator, exactly like tryCommit's per-op
+// reconstruction — cross-shard replays are guarded by the intent
+// attribute instead.
+type txnMsg struct {
+	ID        int64
+	Ops       []txn.ResolvedOp
+	ItemPaths []string
+	LockTs    []int64
+}
+
+func (m txnMsg) encode() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic("core: txn msg marshal: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeTxnMsg(b []byte) (txnMsg, error) {
+	var m txnMsg
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
+	return m, err
+}
+
 func (m leaderMsg) encode() []byte {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
@@ -171,10 +219,19 @@ type Response struct {
 	Path    string // created node name (create), else echo
 	Stat    znode.Stat
 	Txid    int64
+
+	// MultiResults carries a multi()'s per-op outcomes (nil otherwise).
+	MultiResults []txn.Result
 }
 
 // wireSize estimates the response's on-wire size for the network model.
-func (r Response) wireSize() int { return len(r.Path) + 96 }
+func (r Response) wireSize() int {
+	n := len(r.Path) + 96
+	for _, mr := range r.MultiResults {
+		n += len(mr.Path) + 96
+	}
+	return n
+}
 
 // WatchType distinguishes the three watch registrations ZooKeeper offers.
 type WatchType uint8

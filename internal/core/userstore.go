@@ -41,6 +41,26 @@ type UserStore interface {
 	StoredBytes() int
 }
 
+// BatchWrite is one node's final state inside an atomic multi-path apply:
+// a nil Node deletes the path.
+type BatchWrite struct {
+	Path  string
+	Node  *znode.Node
+	Epoch []int64
+}
+
+// AtomicApplier is the optional user-store capability a committed
+// transaction's distribution uses: all writes of the batch become readable
+// at one instant, so no reader can observe a partially applied multi().
+// KV-backed stores implement it with the table's transactional write; the
+// object store cannot (S3 has no multi-key transactions), so transactions
+// there fall back to applying the writes sequentially in op order —
+// readers then see a prefix of the transaction, never an arbitrary mix
+// (documented in the README's transaction section).
+type AtomicApplier interface {
+	ApplyBatch(ctx cloud.Ctx, writes []BatchWrite) error
+}
+
 // objectStore keeps every node as one object.
 type objectStore struct {
 	bucket *object.Bucket
@@ -113,6 +133,23 @@ func (s *kvStore) Delete(ctx cloud.Ctx, path string) error {
 
 func (s *kvStore) Seed(n *znode.Node) {
 	s.tbl.SeedPut(n.Path, kv.Item{"n": kv.B(znode.Marshal(n, nil))})
+}
+
+// ApplyBatch makes all of a transaction's writes readable atomically via
+// the table's transactional write (Requirement #6 has no bite here — the
+// KV store does support multi-item transactions, unlike object storage).
+func (s *kvStore) ApplyBatch(ctx cloud.Ctx, writes []BatchWrite) error {
+	ops := make([]kv.TxOp, 0, len(writes))
+	for _, w := range writes {
+		if w.Node == nil {
+			ops = append(ops, kv.TxOp{Key: w.Path, Delete: true})
+			continue
+		}
+		ops = append(ops, kv.TxOp{Key: w.Path, Updates: []kv.Update{
+			kv.Set{Name: "n", V: kv.B(znode.Marshal(w.Node, w.Epoch))},
+		}})
+	}
+	return s.tbl.Transact(ctx, ops)
 }
 
 // hybridStore places nodes up to thresholdB fully in the KV store and
@@ -274,3 +311,27 @@ func (s *memStore) Delete(ctx cloud.Ctx, path string) error {
 }
 
 func (s *memStore) Seed(n *znode.Node) { s.data[n.Path] = znode.Marshal(n, nil) }
+
+// ApplyBatch applies every write in one in-memory step after a single
+// write round trip: the Redis analogue of a MULTI/EXEC pipeline.
+func (s *memStore) ApplyBatch(ctx cloud.Ctx, writes []BatchWrite) error {
+	size := 0
+	blobs := make([][]byte, len(writes))
+	for i, w := range writes {
+		if w.Node != nil {
+			blobs[i] = znode.Marshal(w.Node, w.Epoch)
+			size += len(blobs[i])
+		}
+	}
+	p := s.env.Profile
+	s.env.K.Sleep(s.lat(ctx, p.MemWriteBase, p.MemWritePerKB, size))
+	s.ops++
+	for i, w := range writes {
+		if w.Node == nil {
+			delete(s.data, w.Path)
+		} else {
+			s.data[w.Path] = blobs[i]
+		}
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/core"
 	"faaskeeper/internal/sim"
+	"faaskeeper/internal/txn"
 	"faaskeeper/internal/znode"
 )
 
@@ -234,7 +235,11 @@ func (c *Client) onResponse(r core.Response) {
 			c.maxSeenMzxid = resp.Stat.Mzxid
 		}
 		if resp.Code == core.CodeOK {
-			c.noteOwnWrite(op.req.Op, resp)
+			if len(resp.MultiResults) > 0 {
+				c.noteOwnMulti(resp.MultiResults)
+			} else {
+				c.noteOwnWrite(op.req.Op, resp)
+			}
 		}
 		op.done.TryComplete(resp)
 	}
@@ -267,6 +272,43 @@ func (c *Client) noteOwnWrite(op core.OpCode, resp core.Response) {
 		// local and unconditional.
 		if c.lcache != nil {
 			c.lcache.Remove(parent)
+		}
+	}
+}
+
+// noteOwnMulti raises the session's floors for every sub-operation of a
+// committed multi(): the same read-your-writes bookkeeping noteOwnWrite
+// performs per single op, including the parents whose child lists the
+// transaction's creates and deletes rewrote.
+func (c *Client) noteOwnMulti(results []txn.Result) {
+	for _, r := range results {
+		if r.Code != txn.CodeOK || r.Txid == 0 {
+			continue
+		}
+		if r.Stat.Mzxid > c.maxSeenMzxid {
+			c.maxSeenMzxid = r.Stat.Mzxid
+		}
+		if c.rcache == nil {
+			continue
+		}
+		if r.Txid > c.sysFloor {
+			c.sysFloor = r.Txid
+		}
+		if r.Txid > c.lastSeen[r.Path] {
+			c.lastSeen[r.Path] = r.Txid
+		}
+		if r.Type == txn.OpCreate || r.Type == txn.OpDelete {
+			parent := znode.Parent(r.Path)
+			if r.Txid > c.lastSeen[parent] {
+				c.lastSeen[parent] = r.Txid
+			}
+			if c.lcache != nil {
+				c.lcache.Remove(parent)
+			}
+		}
+		if c.lcache != nil {
+			// The transaction superseded any session-local copy.
+			c.lcache.Remove(r.Path)
 		}
 	}
 }
@@ -361,6 +403,49 @@ func (c *Client) Delete(path string, version int32) error {
 	}
 	_, err := c.await(c.submitWrite(core.OpDelete, path, nil, version, 0))
 	return err
+}
+
+// Multi submits a ZooKeeper-style transaction: all ops commit atomically
+// or none do (create/set_data/delete/check, built with txn.Create,
+// txn.SetData, txn.Delete, txn.Check). Ops confined to one write shard
+// take a fast path through the leader pipeline; ops spanning shards run
+// the two-phase commit coordinator (package txn). Requires
+// Config.EnableTxn; the per-op results are returned even on a rollback,
+// where the failing op carries its own code and its siblings report
+// txn.CodeAborted.
+func (c *Client) Multi(ops ...txn.Op) ([]txn.Result, error) {
+	if c.closed {
+		return nil, core.ErrSessionClosed
+	}
+	if !c.d.Cfg.EnableTxn {
+		return nil, core.ErrTxnDisabled
+	}
+	if len(ops) == 0 {
+		return nil, core.ErrSystemError
+	}
+	for _, op := range ops {
+		if err := znode.ValidatePath(op.Path); err != nil {
+			return nil, err
+		}
+		if len(op.Data) > c.d.Cfg.MaxNodeB {
+			return nil, core.ErrTooLarge
+		}
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	p := &pendingOp{
+		req: core.Request{
+			Session: c.id, Seq: seq, Op: core.OpMulti,
+			Path: ops[0].Path, Data: txn.EncodeOps(ops),
+		},
+		done: sim.NewFuture[core.Response](c.d.K),
+	}
+	c.pending[seq] = p
+	c.outstanding = append(c.outstanding, seq)
+	c.lastWrite = p.done
+	c.submitQ.Push(p)
+	resp, err := c.await(p.done)
+	return resp.MultiResults, err
 }
 
 // GetData reads a node directly from the user store.

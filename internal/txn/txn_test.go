@@ -1,0 +1,147 @@
+package txn
+
+import (
+	"testing"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/sim"
+)
+
+func newStore(seed int64) (*sim.Kernel, *Store, cloud.Ctx) {
+	k := sim.NewKernel(seed)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	tbl := kv.NewTable(env, "system")
+	return k, NewStore(tbl, k), cloud.ClientCtx(cloud.RegionAWSHome)
+}
+
+func TestRouteGroupsByShard(t *testing.T) {
+	shardOf := func(p string) int { return len(p) % 3 }
+	ops := []Op{
+		SetData("/aa", nil, -1),  // len 3 -> shard 0
+		Create("/b", nil, 0),     // len 2 -> shard 2
+		Check("/cc", -1),         // len 3 -> shard 0
+		Delete("/dddd", -1),      // len 5 -> shard 2
+		SetData("/eeee", nil, 0), // len 5 -> shard 2
+	}
+	shards, byShard := Route(ops, shardOf)
+	if len(shards) != 2 || shards[0] != 0 || shards[1] != 2 {
+		t.Fatalf("shards = %v", shards)
+	}
+	if got := byShard[0]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("shard 0 ops = %v", got)
+	}
+	if got := byShard[2]; len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Errorf("shard 2 ops = %v", got)
+	}
+}
+
+func TestOpsCodecRoundTrip(t *testing.T) {
+	ops := []Op{
+		Create("/a", []byte("x"), 3),
+		SetData("/b", []byte("y"), 7),
+		Delete("/c", -1),
+		Check("/d", 2),
+	}
+	got, err := DecodeOps(EncodeOps(ops))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(ops) || got[0].Type != OpCreate || string(got[1].Data) != "y" ||
+		got[2].Version != -1 || got[3].Path != "/d" {
+		t.Errorf("round trip = %+v", got)
+	}
+	resolved := []ResolvedOp{{Type: OpCreate, Path: "/a", ParentPath: "/", ChildAdd: "a", Shard: 2}}
+	r2, err := DecodeResolved(EncodeResolved(resolved))
+	if err != nil || len(r2) != 1 || r2[0].Shard != 2 || r2[0].ChildAdd != "a" {
+		t.Errorf("resolved round trip = %+v (%v)", r2, err)
+	}
+}
+
+func TestRecordLifecycle(t *testing.T) {
+	k, s, ctx := newStore(1)
+	k.Go("test", func() {
+		id, err := s.Mint(ctx)
+		if err != nil || id != 1 {
+			t.Errorf("mint: %d %v", id, err)
+		}
+		ops := []Op{SetData("/a", []byte("x"), 0), SetData("/b", []byte("y"), 0)}
+		if err := s.Begin(ctx, id, "sess", 7, ops); err != nil {
+			t.Fatalf("begin: %v", err)
+		}
+		if got, ok := s.IDForRequest(ctx, "sess", 7); !ok || got != id {
+			t.Errorf("IDForRequest = %d %v", got, ok)
+		}
+		rec, found := s.Lookup(ctx, id)
+		if !found || rec.Status != StatusPreparing || len(rec.Ops) != 2 {
+			t.Fatalf("lookup: %+v %v", rec, found)
+		}
+		// Votes behave as a per-shard set (idempotent under redelivery).
+		if _, err := s.Vote(ctx, id, 0, "ok"); err != nil {
+			t.Fatalf("vote: %v", err)
+		}
+		if _, err := s.Vote(ctx, id, 0, "ok"); err != nil {
+			t.Fatalf("dup vote: %v", err)
+		}
+		rec, _ = s.Vote(ctx, id, 2, "fail:bad_version")
+		if len(rec.Votes) != 2 || rec.Votes[0] != "ok" || rec.Votes[2] != "fail:bad_version" {
+			t.Errorf("votes = %v", rec.Votes)
+		}
+		// Status transitions are conditional and one-way.
+		resolved := []ResolvedOp{{Type: OpSetData, Path: "/a", Version: 1}}
+		if err := s.Decide(ctx, id, StatusPreparing, StatusCommitted, resolved); err != nil {
+			t.Fatalf("decide: %v", err)
+		}
+		if err := s.Decide(ctx, id, StatusPreparing, StatusAborted, nil); err != ErrStatusConflict {
+			t.Errorf("conflicting decide = %v, want ErrStatusConflict", err)
+		}
+		rec, _ = s.Lookup(ctx, id)
+		if rec.Status != StatusCommitted || len(rec.Resolved) != 1 || rec.Resolved[0].Version != 1 {
+			t.Errorf("committed record = %+v", rec)
+		}
+		// Commit txids and ready markers accumulate per shard.
+		_ = s.NoteCommit(ctx, id, 0, 40)
+		_ = s.NoteCommit(ctx, id, 2, 42)
+		if n, _ := s.Ready(ctx, id, 0); n != 1 {
+			t.Errorf("ready count = %d", n)
+		}
+		if n, _ := s.Ready(ctx, id, 2); n != 2 {
+			t.Errorf("ready count = %d", n)
+		}
+		if rec, ok := s.AwaitReady(ctx, id, 2); !ok || rec.Commits[2] != 42 {
+			t.Errorf("await ready: %+v %v", rec, ok)
+		}
+		if rec, found, ok := s.AwaitStatus(ctx, id, StatusCommitted); !ok || !found || rec.Status != StatusCommitted {
+			t.Errorf("await status: %+v %v %v", rec, found, ok)
+		}
+		s.Delete(ctx, id, "sess", 7)
+		if _, found := s.Lookup(ctx, id); found {
+			t.Error("record survived delete")
+		}
+		if _, ok := s.IDForRequest(ctx, "sess", 7); ok {
+			t.Error("request pointer survived delete")
+		}
+		// A missing record reads as finished to any waiter.
+		if _, found, ok := s.AwaitStatus(ctx, id, StatusApplied); found || !ok {
+			t.Errorf("await on missing record: found=%v ok=%v", found, ok)
+		}
+	})
+	k.Run()
+	k.Shutdown()
+}
+
+func TestMintMonotonic(t *testing.T) {
+	k, s, ctx := newStore(2)
+	k.Go("test", func() {
+		var last int64
+		for i := 0; i < 5; i++ {
+			id, err := s.Mint(ctx)
+			if err != nil || id <= last {
+				t.Errorf("mint %d: %d (%v)", i, id, err)
+			}
+			last = id
+		}
+	})
+	k.Run()
+	k.Shutdown()
+}

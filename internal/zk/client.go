@@ -223,6 +223,22 @@ func (c *Client) Delete(path string, version int32) error {
 	return codeError(resp.Code)
 }
 
+// Multi submits an atomic multi-op transaction: every sub-op commits at
+// one zxid or the whole batch is rejected (the first failing op's error
+// is returned). The baseline counterpart of FaaSKeeper's Multi.
+func (c *Client) Multi(ops ...MultiOp) (znode.Stat, error) {
+	for _, op := range ops {
+		if err := c.check(op.Path); err != nil {
+			return znode.Stat{}, err
+		}
+	}
+	resp, err := c.call(request{Op: OpMulti, Path: "/", Version: -1, MultiOps: ops})
+	if err != nil {
+		return znode.Stat{}, err
+	}
+	return resp.Stat, codeError(resp.Code)
+}
+
 // GetData reads a node from the session's server replica.
 func (c *Client) GetData(path string) ([]byte, znode.Stat, error) {
 	return c.GetDataW(path, nil)

@@ -257,6 +257,10 @@ func (s *Server) submitWrite(pw *pendingWrite) {
 // leaderPropose validates against the speculative tree, sequences the
 // transaction, logs it, and broadcasts the proposal.
 func (s *Server) leaderPropose(pw *pendingWrite) {
+	if pw.req.Op == OpMulti {
+		s.leaderProposeMulti(pw)
+		return
+	}
 	code, finalPath, owner := s.spec.validate(pw.session.id, pw.req)
 	if pw.req.Op == OpCloseSession {
 		code, finalPath = CodeOK, ""
@@ -285,6 +289,55 @@ func (s *Server) leaderPropose(pw *pendingWrite) {
 	case OpCloseSession:
 		x.Type = txnCloseSession
 	}
+	s.spec.apply(x)
+	s.fsync(x.size())
+	s.pending[zxid] = &proposal{txn: x, acks: map[int]bool{s.id: true}}
+	for _, peer := range s.ens.servers {
+		if peer.id != s.id && peer.alive {
+			s.sendPeer(peer.id, peerMsg{Type: msgPropose, From: s.id, Txn: x, Zxid: zxid})
+		}
+	}
+	s.maybeCommit()
+}
+
+// leaderProposeMulti validates a multi() sequentially against a clone of
+// the speculative tree (sub-ops see their predecessors' effects) and, if
+// every sub-op passes, replicates the whole batch as ONE transaction with
+// one zxid — the baseline semantics FaaSKeeper's coordinator is compared
+// against. Any failure rejects the multi without replicating anything.
+func (s *Server) leaderProposeMulti(pw *pendingWrite) {
+	spec := s.spec.clone()
+	zxid := s.ens.zxid(s.nextCtr)
+	subs := make([]*txn, 0, len(pw.req.MultiOps))
+	for _, op := range pw.req.MultiOps {
+		sub := request{Op: op.Op, Path: op.Path, Data: op.Data, Version: op.Version, Flags: op.Flags}
+		code, finalPath, owner := spec.validate(pw.session.id, sub)
+		if code != CodeOK {
+			pw.code = code
+			pw.path = op.Path
+			s.deliverReply(pw)
+			return
+		}
+		if op.Op == OpCheck {
+			continue // guards replicate nothing
+		}
+		x := &txn{
+			Zxid: zxid, Path: finalPath, Data: op.Data,
+			Flags: op.Flags, Owner: owner, SessionID: pw.session.id,
+		}
+		switch op.Op {
+		case OpCreate:
+			x.Type = txnCreate
+		case OpSetData:
+			x.Type = txnSetData
+		case OpDelete:
+			x.Type = txnDelete
+		}
+		spec.apply(x)
+		subs = append(subs, x)
+	}
+	s.nextCtr++
+	x := &txn{Zxid: zxid, Type: txnMulti, Sub: subs, SessionID: pw.session.id, origin: pw}
 	s.spec.apply(x)
 	s.fsync(x.size())
 	s.pending[zxid] = &proposal{txn: x, acks: map[int]bool{s.id: true}}

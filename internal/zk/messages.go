@@ -23,20 +23,38 @@ const (
 	OpGetChildren
 	OpPing
 	OpCloseSession
+	OpCheck // version guard inside a multi
+	OpMulti // atomic multi-op transaction
 )
 
-// request travels client -> server over the session connection.
-type request struct {
-	Seq     int64
+// MultiOp is one sub-operation of a baseline multi() transaction.
+type MultiOp struct {
 	Op      OpCode
 	Path    string
 	Data    []byte
 	Version int32
 	Flags   znode.Flags
-	Watch   bool
 }
 
-func (r request) wireSize() int { return len(r.Path) + len(r.Data) + 48 }
+// request travels client -> server over the session connection.
+type request struct {
+	Seq      int64
+	Op       OpCode
+	Path     string
+	Data     []byte
+	Version  int32
+	Flags    znode.Flags
+	Watch    bool
+	MultiOps []MultiOp
+}
+
+func (r request) wireSize() int {
+	n := len(r.Path) + len(r.Data) + 48
+	for _, op := range r.MultiOps {
+		n += len(op.Path) + len(op.Data) + 16
+	}
+	return n
+}
 
 // Code is a ZooKeeper result code.
 type Code uint8
@@ -94,6 +112,7 @@ const (
 	txnSetData
 	txnDelete
 	txnCloseSession
+	txnMulti // an atomic batch of sub-transactions sharing one zxid
 )
 
 // txn is one replicated state change: the unit ZAB agrees on.
@@ -105,13 +124,20 @@ type txn struct {
 	Flags     znode.Flags
 	Owner     string // ephemeral owner session
 	SessionID string // originating session (close-session txns)
+	Sub       []*txn // txnMulti: the sub-transactions, applied atomically
 
 	// Filled by the leader when it validates and sequences the request.
 	origin *pendingWrite
 }
 
 // size is the replication payload size.
-func (t *txn) size() int { return len(t.Path) + len(t.Data) + 48 }
+func (t *txn) size() int {
+	n := len(t.Path) + len(t.Data) + 48
+	for _, sub := range t.Sub {
+		n += sub.size()
+	}
+	return n
+}
 
 // pendingWrite tracks a client write from proposal to commit.
 type pendingWrite struct {

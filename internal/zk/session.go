@@ -65,7 +65,7 @@ func (sess *serverSession) handlerLoop() {
 			sess.send(response{Seq: req.Seq, Code: CodeOK})
 		case OpGetData, OpExists, OpGetChildren:
 			sess.handleRead(req)
-		case OpCreate, OpSetData, OpDelete, OpCloseSession:
+		case OpCreate, OpSetData, OpDelete, OpMulti, OpCloseSession:
 			barrier := sim.NewFuture[struct{}](env.K)
 			sess.writeBarrier = barrier
 			pw := &pendingWrite{serverID: s.id, session: sess, req: req, barrier: barrier}

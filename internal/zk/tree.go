@@ -91,6 +91,15 @@ func (t *tree) validate(session string, req request) (code Code, finalPath, owne
 			return CodeNotEmpty, "", ""
 		}
 		return CodeOK, req.Path, ""
+	case OpCheck:
+		n, ok := t.nodes[req.Path]
+		if !ok {
+			return CodeNoNode, "", ""
+		}
+		if req.Version != -1 && req.Version != n.Stat.Version {
+			return CodeBadVersion, "", ""
+		}
+		return CodeOK, req.Path, ""
 	}
 	return CodeOK, req.Path, ""
 }
@@ -113,6 +122,17 @@ func (t *tree) apply(x *txn) (znode.Stat, []firedEvent) {
 		return t.applyDelete(x)
 	case txnCloseSession:
 		return znode.Stat{}, t.applyCloseSession(x)
+	case txnMulti:
+		// All sub-transactions apply at one zxid — ZooKeeper's multi is a
+		// single replicated transaction, never partially visible.
+		var stat znode.Stat
+		var events []firedEvent
+		for _, sub := range x.Sub {
+			st, evs := t.apply(sub)
+			stat = st
+			events = append(events, evs...)
+		}
+		return stat, events
 	}
 	return znode.Stat{}, nil
 }

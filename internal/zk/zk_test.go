@@ -282,3 +282,49 @@ func TestWriteCountTracksCommits(t *testing.T) {
 		}
 	})
 }
+
+func TestMultiAtomicCommitAndAbort(t *testing.T) {
+	harness(t, 21, Config{}, time.Hour, func(k *sim.Kernel, e *Ensemble) {
+		c, err := Connect(e, 1)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		defer c.Close()
+		if _, err := c.Create("/cfg", []byte("v0"), 0); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		// Commit: check + two writes, all at one zxid.
+		st, err := c.Multi(
+			MultiOp{Op: OpCheck, Path: "/cfg", Version: 0},
+			MultiOp{Op: OpCreate, Path: "/cfg/a", Data: []byte("one"), Version: -1},
+			MultiOp{Op: OpSetData, Path: "/cfg", Data: []byte("v1"), Version: 0},
+		)
+		if err != nil {
+			t.Errorf("multi: %v", err)
+			return
+		}
+		data, gst, err := c.GetData("/cfg")
+		if err != nil || string(data) != "v1" || gst.Version != 1 {
+			t.Errorf("after multi: %q v%d (%v)", data, gst.Version, err)
+		}
+		ast, err := c.Exists("/cfg/a")
+		if err != nil || ast == nil {
+			t.Errorf("created sub-node: %v %v", ast, err)
+		} else if ast.Czxid != gst.Mzxid || st.Mzxid != gst.Mzxid {
+			t.Errorf("sub-ops did not share one zxid: create %d, set %d, reply %d",
+				ast.Czxid, gst.Mzxid, st.Mzxid)
+		}
+		// Abort: a failing version guard rejects the whole batch.
+		if _, err := c.Multi(
+			MultiOp{Op: OpSetData, Path: "/cfg", Data: []byte("v2"), Version: 1},
+			MultiOp{Op: OpCheck, Path: "/cfg/a", Version: 9},
+		); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("aborting multi: %v, want ErrBadVersion", err)
+		}
+		if data, _, _ := c.GetData("/cfg"); string(data) != "v1" {
+			t.Errorf("abort leaked a write: %q", data)
+		}
+	})
+}
