@@ -89,6 +89,9 @@ func BenchmarkBatchingDistributor(b *testing.B) { benchExperiment(b, "batching")
 // Cross-shard multi() transactions (beyond the paper).
 func BenchmarkTxnCoordinator(b *testing.B) { benchExperiment(b, "txn") }
 
+// Live resharding (beyond the paper; ROADMAP: shard auto-scaling).
+func BenchmarkReshardDynamicMap(b *testing.B) { benchExperiment(b, "reshard") }
+
 // --- micro-benchmarks of the implementation itself (real time) ---
 
 // BenchmarkSimKernelEvents measures raw simulator event throughput.
@@ -236,6 +239,79 @@ func BenchmarkFKShardedWritePath(b *testing.B) {
 	k.Run()
 	k.Shutdown()
 	b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/op")
+}
+
+// BenchmarkFKReshard measures the dynamic write pipeline through a live
+// hot-subtree split: eight sessions hammer their own nodes under /hot on
+// a two-queue dynamic deployment while the subtree is split over four
+// fresh queues mid-run. vsec/op covers the whole run (pre-split
+// contention, the transition, post-split spread), so compare against
+// BenchmarkFKShardedWritePath's statically balanced ideal; reshard/op
+// reports the amortized transitions.
+func BenchmarkFKReshard(b *testing.B) {
+	const sessions = 8
+	k := sim.NewKernel(1)
+	d := core.NewDeployment(k, core.Config{WriteShards: 2, DynamicShards: true})
+	b.ReportAllocs()
+	var virtual time.Duration
+	k.Go("bench", func() {
+		clients := make([]*fkclient.Client, sessions)
+		paths := make([]string, sessions)
+		setup, err := fkclient.Connect(d, "setup", d.Cfg.Profile.Home)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := setup.Create("/hot", nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		for i := range clients {
+			paths[i] = fmt.Sprintf("/hot/n%d", i)
+			if _, err := setup.Create(paths[i], nil, 0); err != nil {
+				b.Fatal(err)
+			}
+			c, err := fkclient.Connect(d, fmt.Sprintf("bench-%d", i), d.Cfg.Profile.Home)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients[i] = c
+		}
+		b.ResetTimer()
+		payload := make([]byte, 1024)
+		wg := sim.NewWaitGroup(k)
+		start := k.Now()
+		for i := range clients {
+			i := i
+			wg.Add(1)
+			k.Go(fmt.Sprintf("bench-writer-%d", i), func() {
+				defer wg.Done()
+				for op := i; op < b.N; op += sessions {
+					if _, err := clients[i].SetData(paths[i], payload, -1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		}
+		wg.Add(1)
+		k.Go("bench-resharder", func() {
+			defer wg.Done()
+			k.Sleep(300 * time.Millisecond)
+			if err := d.SplitSubtree("/hot", 4); err != nil {
+				b.Error(err)
+			}
+		})
+		wg.Wait()
+		b.StopTimer()
+		virtual = k.Now() - start
+		for _, c := range clients {
+			c.Close()
+		}
+		setup.Close()
+	})
+	k.Run()
+	k.Shutdown()
+	b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/op")
+	b.ReportMetric(1/float64(b.N), "reshard/op")
 }
 
 // BenchmarkFKBatchedWritePath measures the batching distributor on a hot

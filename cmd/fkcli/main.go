@@ -8,12 +8,15 @@
 //	fkcli create /app/cfg v1 : get /app/cfg : set /app/cfg v2 : get /app/cfg
 //	fkcli -gcp -store hybrid create /x data : ls /
 //	fkcli -txn -shards 4 multi check /a 0 ";" set /a v2 ";" create /b x
+//	fkcli -dynamic -shards 2 create /hot x : reshard split /hot 4 : reshard map
 //
 // Commands (separated by ":"): create PATH [DATA] [eph] [seq],
 // get PATH, set PATH DATA, del PATH, ls PATH, stat PATH, watch PATH,
 // multi SUBOP [";" SUBOP]... — sub-ops (separated by ";") are
 // create PATH [DATA] [eph] [seq], set PATH DATA [VERSION],
 // del PATH [VERSION], check PATH [VERSION]; requires -txn.
+// reshard map | grow N | shrink N | split PREFIX WAYS | merge PREFIX
+// drives the live shard map; requires -dynamic.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	shards := flag.Int("shards", 1, "leader write shards (1 = paper-faithful)")
 	txnOn := flag.Bool("txn", false, "enable multi() transactions")
+	dynamic := flag.Bool("dynamic", false, "enable the live shard map (reshard command)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -58,10 +62,11 @@ func main() {
 
 	s := faaskeeper.NewSimulation(*seed)
 	d := s.DeployFaaSKeeper(faaskeeper.DeploymentOptions{
-		GCP:         *gcp,
-		UserStore:   faaskeeper.StoreKind(*store),
-		WriteShards: *shards,
-		EnableTxn:   *txnOn,
+		GCP:           *gcp,
+		UserStore:     faaskeeper.StoreKind(*store),
+		WriteShards:   *shards,
+		EnableTxn:     *txnOn,
+		DynamicShards: *dynamic,
 	})
 	exit := 0
 	s.Go(func() {
@@ -73,7 +78,7 @@ func main() {
 		}
 		defer c.Close()
 		for _, cmd := range cmds {
-			if err := run(s, c, cmd); err != nil {
+			if err := run(s, d, c, cmd); err != nil {
 				fmt.Printf("%s: %v\n", strings.Join(cmd, " "), err)
 				exit = 1
 			}
@@ -86,7 +91,10 @@ func main() {
 	os.Exit(exit)
 }
 
-func run(s *faaskeeper.Simulation, c *faaskeeper.Client, cmd []string) error {
+func run(s *faaskeeper.Simulation, d *faaskeeper.Deployment, c *faaskeeper.Client, cmd []string) error {
+	if cmd[0] == "reshard" {
+		return runReshard(d, cmd[1:])
+	}
 	if len(cmd) < 2 {
 		return fmt.Errorf("need a path")
 	}
@@ -161,6 +169,72 @@ func run(s *faaskeeper.Simulation, c *faaskeeper.Client, cmd []string) error {
 		return fmt.Errorf("unknown command %q", op)
 	}
 	return nil
+}
+
+// runReshard drives the live shard map: reshard map | grow N | shrink N |
+// split PREFIX WAYS | merge PREFIX. Requires -dynamic.
+func runReshard(d *faaskeeper.Deployment, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("reshard needs a sub-command: map|grow|shrink|split|merge")
+	}
+	intArg := func(idx int) (int, error) {
+		if len(args) <= idx {
+			return 0, fmt.Errorf("reshard %s needs a number", args[0])
+		}
+		var n int
+		if _, err := fmt.Sscanf(args[idx], "%d", &n); err != nil {
+			return 0, fmt.Errorf("bad number %q", args[idx])
+		}
+		return n, nil
+	}
+	switch args[0] {
+	case "map":
+		fmt.Println(d.ShardMapInfo())
+		return nil
+	case "grow":
+		n, err := intArg(1)
+		if err != nil {
+			return err
+		}
+		if err := d.GrowShards(n); err != nil {
+			return err
+		}
+		fmt.Printf("grew to %d shard queues\n%s\n", n, d.ShardMapInfo())
+		return nil
+	case "shrink":
+		n, err := intArg(1)
+		if err != nil {
+			return err
+		}
+		if err := d.ShrinkShards(n); err != nil {
+			return err
+		}
+		fmt.Printf("shrank to %d shard queues\n%s\n", n, d.ShardMapInfo())
+		return nil
+	case "split":
+		if len(args) < 2 {
+			return fmt.Errorf("reshard split needs a prefix")
+		}
+		ways, err := intArg(2)
+		if err != nil {
+			return err
+		}
+		if err := d.SplitSubtree(args[1], ways); err != nil {
+			return err
+		}
+		fmt.Printf("split %s over %d queues\n%s\n", args[1], ways, d.ShardMapInfo())
+		return nil
+	case "merge":
+		if len(args) < 2 {
+			return fmt.Errorf("reshard merge needs a prefix")
+		}
+		if err := d.MergeSubtree(args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("merged %s\n%s\n", args[1], d.ShardMapInfo())
+		return nil
+	}
+	return fmt.Errorf("unknown reshard sub-command %q", args[0])
 }
 
 // runMulti parses ";"-separated sub-ops and submits them as one atomic

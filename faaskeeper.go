@@ -191,7 +191,28 @@ type DeploymentOptions struct {
 	// untouched. See the "txn" experiment for commit latency and abort
 	// behavior versus participant-shard count.
 	EnableTxn bool
+	// DynamicShards turns the fixed WriteShards route into a live,
+	// epoch-versioned shard map that can be resharded at runtime —
+	// Deployment.GrowShards/ShrinkShards move consistent-hash slots,
+	// SplitSubtree/MergeSubtree re-route a hot subtree at depth 2 —
+	// without stopping the pipeline. Default false — the static route.
+	// See the "reshard" experiment for the recovery behavior.
+	DynamicShards bool
+	// AutoShard enables the shard auto-scaling policy (implies
+	// DynamicShards): sustained queue depth splits the dominant hot
+	// subtree or grows the shard count; idle splits merge back. Note the
+	// policy monitor runs for the lifetime of the simulation — drive
+	// kernels hosting it with RunFor, like deployments with a heartbeat.
+	AutoShard AutoShard
+	// CacheWarmK prefetches the regional cache node's K hottest entries
+	// into each new session's client cache on connect (CacheTwoLevel
+	// only), removing the first-read miss penalty of short-lived
+	// sessions. Default 0 — cold connects, as in the paper.
+	CacheWarmK int
 }
+
+// AutoShard is the shard auto-scaling policy (DeploymentOptions.AutoShard).
+type AutoShard = core.AutoShard
 
 // Deployment is a running FaaSKeeper instance.
 type Deployment struct {
@@ -220,6 +241,9 @@ func (s *Simulation) DeployFaaSKeeper(opts DeploymentOptions) *Deployment {
 		ClientCacheCapacityB: opts.ClientCacheCapacityB,
 		CacheTTL:             opts.CacheTTL,
 		EnableTxn:            opts.EnableTxn,
+		DynamicShards:        opts.DynamicShards,
+		AutoShard:            opts.AutoShard,
+		CacheWarmK:           opts.CacheWarmK,
 	}
 	if opts.ARM {
 		cfg.Arch = faas.ARM
@@ -232,6 +256,34 @@ func (s *Simulation) DeployFaaSKeeper(opts DeploymentOptions) *Deployment {
 
 // Core exposes the underlying deployment for experiments and inspection.
 func (d *Deployment) Core() *core.Deployment { return d.core }
+
+// GrowShards grows a dynamic deployment to n shard queues through the
+// live reshard protocol (must be called from inside a simulated process).
+func (d *Deployment) GrowShards(n int) error { return d.core.GrowShards(n) }
+
+// ShrinkShards retires trailing shard queues down to n (not below the
+// initial WriteShards).
+func (d *Deployment) ShrinkShards(n int) error { return d.core.ShrinkShards(n) }
+
+// SplitSubtree re-routes a hot top-level subtree (e.g. "/hot") over ways
+// new shard queues, hashing the second path segment so parents and
+// children below the subtree root stay colocated.
+func (d *Deployment) SplitSubtree(prefix string, ways int) error {
+	return d.core.SplitSubtree(prefix, ways)
+}
+
+// MergeSubtree folds a split subtree back onto its pre-split route.
+func (d *Deployment) MergeSubtree(prefix string) error { return d.core.MergeSubtree(prefix) }
+
+// ShardMapInfo renders the live routing table (empty on static
+// deployments). Must be called from inside a simulated process.
+func (d *Deployment) ShardMapInfo() string {
+	m := d.core.LoadShardMap(cloud.ClientCtx(d.core.Cfg.Profile.Home))
+	if m == nil {
+		return "static sharding (DynamicShards off)"
+	}
+	return m.String()
+}
 
 // TotalCost returns the accumulated pay-as-you-go dollars.
 func (d *Deployment) TotalCost() float64 { return d.core.Env.Meter.Total() }

@@ -12,11 +12,15 @@ import (
 // transaction id, and the union epoch stamp (the in-flight watch ids across
 // all shards) the new value will carry. The epoch union is retained with
 // the path's floor so a future stamp-carrying upgrade — or a test — can
-// reconstruct the exact invalidation order the cache observed.
+// reconstruct the exact invalidation order the cache observed. On a
+// dynamic-sharding deployment the record additionally carries the shard-map
+// epoch the publishing leader routed under (0 otherwise), so the
+// invalidation order remains attributable across live reshards.
 type Invalidation struct {
-	Path  string
-	Mzxid int64
-	Epoch []int64
+	Path     string
+	Mzxid    int64
+	Epoch    []int64
+	MapEpoch int64
 }
 
 // floor is the per-path invalidation watermark: fills below it are
@@ -207,7 +211,15 @@ func (r *Regional) InvalidateBatch(ctx cloud.Ctx, invs []Invalidation) {
 }
 
 // invSize is an invalidation entry's on-wire size for the latency model.
-func invSize(inv Invalidation) int { return len(inv.Path) + 8*(2+len(inv.Epoch)) }
+// The map-epoch word is only carried (and only billed) on dynamic
+// deployments, keeping the static pipeline's record byte-identical.
+func invSize(inv Invalidation) int {
+	n := len(inv.Path) + 8*(2+len(inv.Epoch))
+	if inv.MapEpoch != 0 {
+		n += 8
+	}
+	return n
+}
 
 // apply raises one record's floor and drops the fenced entry (the
 // latency and metering were already paid by the caller).
@@ -234,6 +246,38 @@ func (r *Regional) Floor(path string) (int64, []int64) {
 		return f.mzxid, f.epoch
 	}
 	return r.globalFloor, nil
+}
+
+// WarmEntry is one prefetched entry of a connect-time warm-up.
+type WarmEntry struct {
+	Path  string
+	Entry Entry
+}
+
+// Warmup returns up to k of the node's most-recently-used entries — the
+// hot set a fresh session prefetches into its client cache on connect.
+// Recency in the shared regional node is the hotness signal: every
+// session's hits refresh it. The whole prefetch pays one read round trip
+// whose transfer term covers all returned blobs (a single pipelined
+// MGET, not k lookups), so warming K paths costs far less than K cold
+// first reads.
+func (r *Regional) Warmup(ctx cloud.Ctx, k int) []WarmEntry {
+	p := r.env.Profile
+	// Like Lookup: the probe executes server-side after the request
+	// travel, then the transfer term covers whatever is returned.
+	r.lat(ctx, p.MemReadBase, 0, 0)
+	out := make([]WarmEntry, 0, k)
+	size := 0
+	for el := r.lru.ll.Front(); el != nil && len(out) < k; el = el.Next() {
+		it := el.Value.(*lruItem)
+		out = append(out, WarmEntry{Path: it.key, Entry: it.entry})
+		size += len(it.entry.Blob)
+	}
+	if size > 0 {
+		r.lat(ctx, sim.Const(0), p.MemReadPerKB, size)
+	}
+	r.env.Meter.Charge("cache.read", 0, 1)
+	return out
 }
 
 // Stats returns a snapshot of the traffic counters.

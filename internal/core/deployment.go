@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"faaskeeper/internal/cache"
@@ -10,6 +11,7 @@ import (
 	"faaskeeper/internal/cloud/network"
 	"faaskeeper/internal/cloud/queue"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/stats"
 	"faaskeeper/internal/txn"
@@ -69,6 +71,24 @@ type Config struct {
 	// write path. See ShardOf for the routing function.
 	WriteShards int
 
+	// DynamicShards replaces the fixed mod-N route with the durable
+	// epoch-versioned routing table of package shardmap, enabling live
+	// resharding: GrowShards/ShrinkShards move consistent-hash slots to
+	// added or retired queues, SplitSubtree re-routes a hot subtree at
+	// depth 2, and MergeSubtree folds it back — all without stopping the
+	// pipeline (reshard.go). Dynamic mode stamps each write's commit with
+	// the routed shard's map generation, so a write racing a reshard is
+	// rejected by its own conditional commit and retried against the new
+	// map. Default false: the static pipeline, byte-identical to the
+	// golden trace.
+	DynamicShards bool
+
+	// AutoShard is the shard auto-scaling policy (implies DynamicShards
+	// when enabled): a monitor samples per-shard queue depth and splits a
+	// sustained hot subtree (or grows the shard count) under load, and
+	// merges an idle split back.
+	AutoShard AutoShard
+
 	// BatchWrites enables the leader's batching distributor: the handler
 	// splits into a per-message commit phase (Algorithm 2's verification,
 	// watch claiming, and transaction pop, unchanged per operation) and a
@@ -124,12 +144,58 @@ type Config struct {
 	// regional node needs no TTL — it is push-invalidated by the leader.
 	CacheTTL time.Duration
 
+	// CacheWarmK prefetches the regional cache node's K hottest entries
+	// into a new session's client cache on connect (two-level mode only),
+	// seeding the session's per-path floors so the first read of a hot
+	// path is already a hit. Default 0 — cold connects, as in the paper.
+	CacheWarmK int
+
 	// CollectPhases enables per-phase latency sampling (Figures 9-12,
 	// Table 3).
 	CollectPhases bool
 
 	// Faults injects failures for resilience tests.
 	Faults Faults
+}
+
+// AutoShard configures shard auto-scaling (Config.AutoShard): the policy
+// samples each shard queue's depth every Interval; a shard whose depth
+// stays at or above SplitDepth for Sustain consecutive samples is
+// resharded — by splitting its dominant subtree over SplitWays new queues
+// when one top-level segment carries at least half of the shard's routed
+// writes, or by growing the queue count otherwise — and a split whose
+// target queues sit empty for MergeIdle consecutive samples is merged
+// back.
+type AutoShard struct {
+	Enabled bool
+
+	Interval   time.Duration // sampling period (default 1 s)
+	SplitDepth int           // queue-depth threshold (default 6)
+	Sustain    int           // consecutive hot samples before acting (default 3)
+	SplitWays  int           // subtree split fanout (default 2)
+	MaxShards  int           // queue-count ceiling (default 8)
+	MergeIdle  int           // idle samples before merging a split; 0 = never
+}
+
+func (a *AutoShard) defaults() {
+	if a.Interval <= 0 {
+		a.Interval = time.Second
+	}
+	if a.SplitDepth <= 0 {
+		a.SplitDepth = 6
+	}
+	if a.Sustain <= 0 {
+		a.Sustain = 3
+	}
+	if a.SplitWays < 2 {
+		a.SplitWays = 2
+	}
+	if a.MaxShards <= 0 {
+		a.MaxShards = 8
+	}
+	if a.MaxShards > shardmap.MaxShards {
+		a.MaxShards = shardmap.MaxShards
+	}
 }
 
 // Faults are injectable failure probabilities.
@@ -177,6 +243,16 @@ func (c *Config) defaults() {
 	if c.WriteShards <= 0 {
 		c.WriteShards = 1
 	}
+	if c.AutoShard.Enabled {
+		c.DynamicShards = true
+		c.AutoShard.defaults()
+	}
+	if c.DynamicShards && c.WriteShards > shardmap.MaxShards {
+		panic("core: DynamicShards supports at most 64 write shards")
+	}
+	if c.CacheWarmK < 0 {
+		c.CacheWarmK = 0
+	}
 	if c.MaxBatch < 0 {
 		c.MaxBatch = 0
 	}
@@ -222,8 +298,20 @@ type Deployment struct {
 
 	// LeaderQs holds one ordered queue per write shard; LeaderQs[s] feeds
 	// shard s's serialized leader instance. A single-shard deployment has
-	// exactly the paper's one global queue.
+	// exactly the paper's one global queue. A dynamic deployment appends
+	// queues at runtime as the shard map grows.
 	LeaderQs []*queue.Queue
+
+	// dyn is the dynamic-sharding state (nil on static deployments; see
+	// dynShards in shard.go).
+	dyn *dynShards
+
+	// txnWatchBatches / txnWatchDeliveries count the cross-shard
+	// transaction watch pipeline: deliveries are individual watch-function
+	// invocations, batches the per-shard post-apply groups that carried
+	// them (one epoch-exit write per region per batch).
+	txnWatchBatches    int64
+	txnWatchDeliveries int64
 
 	sessions map[string]*SessionTransport
 	phases   map[string]*stats.Sample
@@ -281,6 +369,14 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 			queue.New(env, leaderQueueName(s, cfg.WriteShards), cfg.Profile.OrderedQueueKind()))
 	}
 
+	if cfg.DynamicShards {
+		d.dyn = &dynShards{store: shardmap.NewStore(d.System), hot: map[string]int64{}}
+		seedMap := shardmap.New(cfg.WriteShards)
+		d.dyn.store.Seed(seedMap)
+		d.dyn.cur = seedMap
+		d.Txns.TrackLive(true)
+	}
+
 	d.Platform.Deploy(faas.Config{
 		Name: FnFollower, MemoryMB: cfg.FollowerMemMB, Arch: cfg.Arch, VCPU: cfg.VCPU,
 		Retries: cfg.Retries,
@@ -306,8 +402,29 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 		d.Platform.AddSchedule(FnHeartbeat, cfg.HeartbeatEvery)
 	}
 
+	if cfg.AutoShard.Enabled {
+		d.K.Go("autoshard-monitor", d.autoShardMonitor)
+	}
+
 	d.seedRoot()
 	return d
+}
+
+// addShardQueue provisions one more leader queue with its serialized
+// trigger (the reshard engine grows the fleet before flipping the map, so
+// a routing target always has a consumer).
+func (d *Deployment) addShardQueue() {
+	s := len(d.LeaderQs)
+	q := queue.New(d.Env, fmt.Sprintf("leader-%d", s), d.Cfg.Profile.OrderedQueueKind())
+	d.LeaderQs = append(d.LeaderQs, q)
+	d.Platform.AddQueueTrigger(q, FnLeader, 1)
+}
+
+// TxnWatchStats reports the cross-shard transaction watch pipeline's
+// delivery batching: total watch-function invocations and the per-shard
+// post-apply batches they were folded into.
+func (d *Deployment) TxnWatchStats() (batches, deliveries int64) {
+	return d.txnWatchBatches, d.txnWatchDeliveries
 }
 
 func (d *Deployment) newUserStore(r cloud.Region) UserStore {

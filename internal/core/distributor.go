@@ -49,6 +49,7 @@ type opResult struct {
 	stat  znode.Stat
 	fired []firedWatch
 	dereg bool
+	drop  bool // stranded by a reshard: the follower owns the retry, stay silent
 }
 
 // nodeFold is the final folded user-store state of one touched node.
@@ -169,7 +170,7 @@ func (d *Deployment) leaderProcessBatched(ctx cloud.Ctx, msgs []decodedMsg, epoc
 	later := map[string]int{}
 	for _, dm := range msgs {
 		switch dm.msg.Op {
-		case OpDeregister:
+		case OpDeregister, OpReshardFence:
 		case OpMulti, OpTxnCommit:
 			// Transaction targets count toward the lookahead too, so a
 			// batched delete before them never collects a tombstone the
@@ -210,6 +211,14 @@ func (d *Deployment) leaderProcessBatched(ctx cloud.Ctx, msgs []decodedMsg, epoc
 			completions = append(completions, d.leaderProcess(ctx, dm.msg, dm.txid, epochs)...)
 			continue
 		}
+		// A reshard fence is a fold barrier too: the ack promises every
+		// earlier message has been distributed, so the run must flush
+		// before it is written.
+		if dm.msg.Op == OpReshardFence {
+			flushRun()
+			d.ackFence(ctx, dm.msg)
+			continue
+		}
 		run = append(run, dm)
 	}
 	flushRun()
@@ -234,6 +243,9 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 
 	var completions []watchCompletion
 	for _, r := range results {
+		if r.drop {
+			continue
+		}
 		if r.dereg {
 			// Processed only after the flush: the ack's shard-FIFO position
 			// put it behind the session's ephemeral deletions, and the
@@ -278,6 +290,9 @@ func (d *Deployment) commitOne(ctx cloud.Ctx, dm decodedMsg, fold *batchFold, la
 	node, committed := d.awaitCommit(ctx, msg, txid)
 	d.recordPhase("leader.get", d.K.Now()-t0)
 	if !committed {
+		if d.staleDynMsg(ctx, msg, dynGen(msg)) {
+			return opResult{msg: msg, txid: txid, code: CodeSystemError, drop: true}
+		}
 		return opResult{msg: msg, txid: txid, code: CodeSystemError}
 	}
 
@@ -323,14 +338,17 @@ func (d *Deployment) distributeFold(ctx cloud.Ctx, fold *batchFold, epochs map[c
 	// Merge child-list splices into node objects rewritten in the same
 	// batch: a per-parent RMW would read the store's pre-batch object and
 	// either the splice or the data write would be lost. A parent deleted
-	// in this batch drops its splices (its child list is moot). The shared
-	// root of a sharded deployment is peeled off instead — its RMW must
-	// run under the cross-shard root lock.
-	var rootPF *parentFold
+	// in this batch drops its splices (its child list is moot). Shared
+	// parents — the root of a sharded deployment, a split subtree's root
+	// — are peeled off instead: their RMW must run under the cross-shard
+	// lock.
+	sharedPFs := map[string]*parentFold{}
+	var sharedOrder []string
 	for _, p := range fold.parentOrder {
 		pf := fold.parents[p]
-		if d.NumShards() > 1 && p == znode.Root {
-			rootPF = pf
+		if d.isSharedPath(p) {
+			sharedPFs[p] = pf
+			sharedOrder = append(sharedOrder, p)
 			pf.consumed = true
 			continue
 		}
@@ -348,19 +366,37 @@ func (d *Deployment) distributeFold(ctx cloud.Ctx, fold *batchFold, epochs map[c
 		}
 	}
 
-	// Cross-shard root work — a data write to the root object or a
-	// top-level create/delete splice — is serialized under the root lock,
-	// held once across the whole flush (the unbatched path holds it across
-	// the corresponding per-op distribution for the same reason: an
-	// interleaved RMW from another shard would lose children).
-	rootNF, rootWritten := fold.nodes[znode.Root]
-	rootWritten = rootWritten && !rootNF.del
-	if d.NumShards() > 1 && (rootPF != nil || rootWritten) {
-		lock := d.acquireRootLock(ctx)
-		defer func(l fksync.Lock) { _ = d.Locks.Release(ctx, l) }(lock)
-		if rootWritten {
-			d.refreshRootFromSystem(ctx, rootNF.node)
+	// Cross-shard shared-path work — a data write to a shared object or a
+	// create/delete splice under it — is serialized under the path's
+	// shared lock, held once across the whole flush (the unbatched path
+	// holds it across the corresponding per-op distribution for the same
+	// reason: an interleaved RMW from another shard would lose children).
+	// Locks are taken in sorted path order: two flushes on different
+	// shards touching the same shared paths then never deadlock.
+	lockSet := map[string]bool{}
+	for _, p := range sharedOrder {
+		lockSet[p] = true
+	}
+	for _, p := range fold.order {
+		if nf := fold.nodes[p]; !nf.del && d.isSharedPath(p) {
+			lockSet[p] = true
 		}
+	}
+	lockPaths := make([]string, 0, len(lockSet))
+	for p := range lockSet {
+		lockPaths = append(lockPaths, p)
+	}
+	slices.Sort(lockPaths)
+	for _, p := range lockPaths {
+		lock := d.acquireSharedLock(ctx, p)
+		defer func(l fksync.Lock) { _ = d.Locks.Release(ctx, l) }(lock)
+	}
+	for _, p := range fold.order {
+		nf := fold.nodes[p]
+		if nf.del || !d.isSharedPath(p) {
+			continue
+		}
+		d.refreshSharedFromSystem(ctx, p, nf.node)
 	}
 
 	wg := sim.NewWaitGroup(d.K)
@@ -373,7 +409,7 @@ func (d *Deployment) distributeFold(ctx cloud.Ctx, fold *batchFold, epochs map[c
 			// One coalesced record per touched path, published before any
 			// of the batch's writes become readable in this region.
 			if rc := d.CacheFor(s.Region()); rc != nil {
-				rc.InvalidateBatch(ctx, fold.invalidations(rootPF, stamp))
+				rc.InvalidateBatch(ctx, fold.invalidations(sharedPFs, stamp, d.cacheMapEpoch()))
 			}
 			if aa, atomic := s.(AtomicApplier); atomicApply && atomic {
 				writes := make([]BatchWrite, 0, len(fold.order))
@@ -407,17 +443,18 @@ func (d *Deployment) distributeFold(ctx cloud.Ctx, fold *batchFold, epochs map[c
 	}
 	wg.Wait()
 
-	// The shared root's coalesced splice runs after the regional writes,
-	// still under the root lock taken above (mirroring updateSharedRoot's
-	// position in the per-op pipeline).
-	if rootPF != nil {
+	// The shared parents' coalesced splices run after the regional writes,
+	// still under the shared locks taken above (mirroring
+	// updateSharedParent's position in the per-op pipeline).
+	for _, p := range sharedOrder {
+		p, pf := p, sharedPFs[p]
 		rwg := sim.NewWaitGroup(d.K)
 		for _, s := range d.Stores {
 			s := s
 			rwg.Add(1)
 			d.K.Go("leader-root-"+string(s.Region()), func() {
 				defer rwg.Done()
-				d.applyParentFold(ctx, s, znode.Root, rootPF, epochs[s.Region()])
+				d.applyParentFold(ctx, s, p, pf, epochs[s.Region()])
 			})
 		}
 		rwg.Wait()
@@ -426,19 +463,19 @@ func (d *Deployment) distributeFold(ctx cloud.Ctx, fold *batchFold, epochs map[c
 
 // invalidations assembles the batch's coalesced multi-path invalidation
 // record for one region: each touched path once, at its newest folded
-// txid. The shared root's splice (flushed after the regional writes) is
-// included so its floor is raised before its RMW lands too.
-func (f *batchFold) invalidations(rootPF *parentFold, stamp []int64) []cache.Invalidation {
+// txid. Shared parents' splices (flushed after the regional writes) are
+// included so their floors are raised before their RMWs land too.
+func (f *batchFold) invalidations(shared map[string]*parentFold, stamp []int64, mapEpoch int64) []cache.Invalidation {
 	invs := make([]cache.Invalidation, 0, len(f.order)+len(f.parentOrder))
 	for _, p := range f.order {
-		invs = append(invs, cache.Invalidation{Path: p, Mzxid: f.nodes[p].txid, Epoch: stamp})
+		invs = append(invs, cache.Invalidation{Path: p, Mzxid: f.nodes[p].txid, Epoch: stamp, MapEpoch: mapEpoch})
 	}
 	for _, p := range f.parentOrder {
 		pf := f.parents[p]
-		if pf.consumed && pf != rootPF {
+		if _, isShared := shared[p]; pf.consumed && !isShared {
 			continue // folded into the node write above
 		}
-		invs = append(invs, cache.Invalidation{Path: p, Mzxid: pf.pzxid, Epoch: stamp})
+		invs = append(invs, cache.Invalidation{Path: p, Mzxid: pf.pzxid, Epoch: stamp, MapEpoch: mapEpoch})
 	}
 	return invs
 }

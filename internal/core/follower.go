@@ -9,6 +9,7 @@ import (
 	"faaskeeper/internal/cloud/kv"
 	"faaskeeper/internal/cloud/queue"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/znode"
 )
 
@@ -43,11 +44,14 @@ func (d *Deployment) processRequest(ctx cloud.Ctx, req Request) error {
 	var err error
 	switch req.Op {
 	case OpCreate:
-		err = d.followerCreate(ctx, req)
+		err = d.retryStale(ctx, req, d.followerCreate)
 	case OpSetData:
-		err = d.followerSetData(ctx, req)
+		err = d.retryStale(ctx, req, d.followerSetData)
 	case OpDelete:
-		err = d.followerDelete(ctx, req)
+		err = d.retryStale(ctx, req, func(ctx cloud.Ctx, r Request) error {
+			_, derr := d.followerDelete(ctx, r)
+			return derr
+		})
 	case OpDeregister:
 		err = d.followerDeregister(ctx, req)
 	case OpMulti:
@@ -60,6 +64,31 @@ func (d *Deployment) processRequest(ctx cloud.Ctx, req Request) error {
 		d.lastSeq[req.Session] = req.Seq
 	}
 	return err
+}
+
+// staleRouteRetries bounds how often one request re-routes after losing a
+// race with a reshard (each retry re-reads the map, so one transition
+// costs at most one extra round per in-flight write).
+const staleRouteRetries = 8
+
+// retryStale runs one write op with dynamic-mode re-routing: a commit
+// rejected by the shard-map generation guard re-validates and re-routes
+// against the refreshed map, after waiting out any migration gating the
+// path. Static deployments call the op directly.
+func (d *Deployment) retryStale(ctx cloud.Ctx, req Request, fn func(cloud.Ctx, Request) error) error {
+	if d.dyn == nil {
+		return fn(ctx, req)
+	}
+	var err error
+	for attempt := 0; attempt <= staleRouteRetries; attempt++ {
+		d.awaitRoutable(ctx, req.Path)
+		err = fn(ctx, req)
+		if !errors.Is(err, errStaleRoute) {
+			return err
+		}
+	}
+	d.respondFailure(req, CodeSystemError)
+	return nil
 }
 
 // respondFailure notifies the client directly from the follower; rejected
@@ -105,7 +134,7 @@ func (d *Deployment) followerSetData(ctx cloud.Ctx, req Request) error {
 		NodeBlob: blob, LockTs: lock.Timestamp, Version: newVersion,
 	}
 	// ③ Push to the leader queue; the FIFO sequence number is the txid.
-	txid, err := d.pushToLeader(ctx, msg)
+	r, err := d.pushToLeader(ctx, msg)
 	if err != nil {
 		d.unlockAll(ctx, lock)
 		d.respondFailure(req, CodeSystemError)
@@ -114,15 +143,29 @@ func (d *Deployment) followerSetData(ctx cloud.Ctx, req Request) error {
 	if d.crashInjected() {
 		return errInjectedCrash
 	}
-	// ④ Commit and unlock in one conditional write.
-	t0 := d.K.Now()
-	_, err = d.Locks.CommitUnlock(ctx, lock, []kv.Update{
+	// ④ Commit and unlock in one conditional write (joined with the
+	// shard-map generation guard on a dynamic deployment).
+	ups := []kv.Update{
 		kv.Set{Name: attrVersion, V: kv.N(int64(newVersion))},
-		kv.Set{Name: attrMzxid, V: kv.N(txid)},
-		kv.ListAppend{Name: attrPending, Vals: []int64{txid}},
-	})
+		kv.Set{Name: attrMzxid, V: kv.N(r.txid)},
+		kv.ListAppend{Name: attrPending, Vals: []int64{r.txid}},
+	}
+	t0 := d.K.Now()
+	if guard := d.dynGuard(r.shard, r.gen); guard != nil {
+		err = d.Locks.CommitUnlockTxGuard(ctx, []fksync.TxPart{{Lock: lock, Updates: ups}}, guard)
+	} else {
+		_, err = d.Locks.CommitUnlock(ctx, lock, ups)
+	}
 	d.recordPhase("follower.commit", d.K.Now()-t0)
 	if err != nil {
+		if d.staleRoutedCommit(ctx, r.shard, r.gen) {
+			// Fenced by a reshard: nothing was written, the locks are
+			// still ours — release them and re-route. The pushed message
+			// strands in the old queue; its leader recognizes the
+			// superseded generation and drops it silently.
+			d.unlockAll(ctx, lock)
+			return errStaleRoute
+		}
 		// Lost the lease: the leader's TryCommit may still save the
 		// transaction; nothing more to do here.
 		return nil
@@ -193,7 +236,7 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 		LockTs: nodeLock.Timestamp, ParentLockTs: parentLock.Timestamp,
 		Cversion: parent.Cversion + 1, EphOwner: owner,
 	}
-	txid, err := d.pushToLeader(ctx, msg)
+	r, err := d.pushToLeader(ctx, msg)
 	if err != nil {
 		d.unlockAll(ctx, nodeLock, parentLock)
 		code := CodeSystemError
@@ -203,18 +246,23 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 		d.respondFailure(req, code)
 		return nil
 	}
+	txid := r.txid
 	if d.crashInjected() {
 		return errInjectedCrash
 	}
 	// ④ A multi-node commit: the new node and its parent fail or succeed
 	// together (Section 3.1).
 	t0 := d.K.Now()
-	err = d.Locks.CommitUnlockTx(ctx, []fksync.TxPart{
+	err = d.Locks.CommitUnlockTxGuard(ctx, []fksync.TxPart{
 		{Lock: nodeLock, Updates: createNodeUpdates(txid, owner)},
 		{Lock: parentLock, Updates: createParentUpdates(name, txid)},
-	})
+	}, d.dynGuard(r.shard, r.gen))
 	d.recordPhase("follower.commit", d.K.Now()-t0)
 	if err != nil {
+		if d.staleRoutedCommit(ctx, r.shard, r.gen) {
+			d.unlockAll(ctx, nodeLock, parentLock)
+			return errStaleRoute
+		}
 		return nil // lease lost: leader TryCommit may recover
 	}
 	if owner != "" {
@@ -265,22 +313,27 @@ func createParentUpdates(name string, txid int64) []kv.Update {
 	}
 }
 
-func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) error {
+// followerDelete validates and commits one deletion. It returns the shard
+// the deletion was routed to (the session-deregistration barrier must put
+// its ack behind the deletion in exactly that queue) along with the usual
+// handler error.
+func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) (int, error) {
+	shard := d.RouteShard(req.Path)
 	if req.Path == znode.Root {
 		d.respondFailure(req, CodeSystemError)
-		return nil
+		return shard, nil
 	}
 	parentPath := znode.Parent(req.Path)
 	parentLock, parent, err := d.lockNodeClean(ctx, parentPath, 0)
 	if err != nil {
 		d.respondFailure(req, CodeSystemError)
-		return nil
+		return shard, nil
 	}
 	nodeLock, node, err := d.lockNodeClean(ctx, req.Path, 0)
 	if err != nil {
 		d.unlockAll(ctx, parentLock)
 		d.respondFailure(req, CodeSystemError)
-		return nil
+		return shard, nil
 	}
 	code := CodeOK
 	switch {
@@ -296,7 +349,7 @@ func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) error {
 	if code != CodeOK {
 		d.unlockAll(ctx, nodeLock, parentLock)
 		d.respondFailure(req, code)
-		return nil
+		return shard, nil
 	}
 	name := znode.Base(req.Path)
 	msg := leaderMsg{
@@ -305,29 +358,34 @@ func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) error {
 		LockTs: nodeLock.Timestamp, ParentLockTs: parentLock.Timestamp,
 		Cversion: parent.Cversion + 1, EphOwner: node.EphOwner,
 	}
-	txid, err := d.pushToLeader(ctx, msg)
+	r, err := d.pushToLeader(ctx, msg)
 	if err != nil {
 		d.unlockAll(ctx, nodeLock, parentLock)
 		d.respondFailure(req, CodeSystemError)
-		return nil
+		return r.shard, nil
 	}
+	txid := r.txid
 	if d.crashInjected() {
-		return errInjectedCrash
+		return r.shard, errInjectedCrash
 	}
 	t0 := d.K.Now()
-	err = d.Locks.CommitUnlockTx(ctx, []fksync.TxPart{
+	err = d.Locks.CommitUnlockTxGuard(ctx, []fksync.TxPart{
 		{Lock: nodeLock, Updates: deleteNodeUpdates(txid)},
 		{Lock: parentLock, Updates: deleteParentUpdates(name, txid)},
-	})
+	}, d.dynGuard(r.shard, r.gen))
 	d.recordPhase("follower.commit", d.K.Now()-t0)
 	if err != nil {
-		return nil
+		if d.staleRoutedCommit(ctx, r.shard, r.gen) {
+			d.unlockAll(ctx, nodeLock, parentLock)
+			return r.shard, errStaleRoute
+		}
+		return r.shard, nil
 	}
 	if node.EphOwner != "" {
 		_, _ = d.System.Update(ctx, sessionKey(node.EphOwner),
 			[]kv.Update{kv.StrListRemove{Name: attrSessionEph, Vals: []string{req.Path}}}, nil)
 	}
-	return nil
+	return r.shard, nil
 }
 
 // deleteNodeUpdates tombstones the node (exists=0) while keeping the item
@@ -371,12 +429,20 @@ func (d *Deployment) followerDeregister(ctx cloud.Ctx, req Request) error {
 	touched := map[int]bool{}
 	for _, path := range eph {
 		// Seq -1: these deletions produce no client-visible responses; the
-		// deregistration ack below covers them.
+		// deregistration ack below covers them. The ack must ride the
+		// queue each deletion actually committed to, so the shard comes
+		// back from the delete itself (routing may change mid-loop on a
+		// dynamic deployment).
 		del := Request{Session: req.Session, Seq: -1, Op: OpDelete, Path: path, Version: -1}
-		if err := d.followerDelete(ctx, del); err != nil {
+		shard, err := d.followerDelete(ctx, del)
+		for attempt := 0; errors.Is(err, errStaleRoute) && attempt < staleRouteRetries; attempt++ {
+			d.awaitRoutable(ctx, path)
+			shard, err = d.followerDelete(ctx, del)
+		}
+		if err != nil {
 			return err
 		}
-		touched[ShardOf(path, d.NumShards())] = true
+		touched[shard] = true
 	}
 	if err := d.System.Delete(ctx, sessionKey(req.Session), nil); err != nil {
 		return fmt.Errorf("core: deregister: %w", err)
@@ -422,23 +488,45 @@ func (d *Deployment) followerDeregister(ctx cloud.Ctx, req Request) error {
 
 var errMsgTooLarge = errors.New("core: leader message exceeds queue limit")
 
+// routed is the outcome of a leader-queue push: the derived transaction
+// id, the shard the message landed on, and — on a dynamic deployment —
+// the map generation it was routed with, which the follower's commit must
+// pin (dynGuard).
+type routed struct {
+	txid  int64
+	shard int
+	gen   int64
+}
+
 // pushToLeader routes the validated change to its subtree's ordered queue
 // (③) and returns the transaction id. With one shard this is the paper's
 // single global FIFO queue and its total order of writes; with more, the
 // order is total per shard, which suffices because no operation spans
-// subtrees.
-func (d *Deployment) pushToLeader(ctx cloud.Ctx, msg leaderMsg) (int64, error) {
-	msg.Shard = ShardOf(msg.Path, d.NumShards())
+// subtrees. A dynamic deployment routes through the shard map and stamps
+// the message with the routing generation and the shard's txid base.
+func (d *Deployment) pushToLeader(ctx cloud.Ctx, msg leaderMsg) (routed, error) {
+	if d.dyn != nil {
+		m := d.mapView()
+		msg.Shard = m.ShardFor(msg.Path)
+		dynStamp(&msg, m)
+		if d.Cfg.AutoShard.Enabled {
+			// Only the auto-shard monitor reads (and resets) the
+			// per-segment counters; without it they would just grow.
+			d.dyn.hot[shardmap.TopSegment(msg.Path)]++
+		}
+	} else {
+		msg.Shard = ShardOf(msg.Path, d.NumShards())
+	}
 	return d.pushToShard(ctx, msg)
 }
 
 // pushToShard sends the message to the shard already set on it.
-func (d *Deployment) pushToShard(ctx cloud.Ctx, msg leaderMsg) (int64, error) {
+func (d *Deployment) pushToShard(ctx cloud.Ctx, msg leaderMsg) (routed, error) {
 	t0 := d.K.Now()
 	seqNo, err := d.LeaderQs[msg.Shard].Send(ctx, msg.Session, msg.encode())
 	d.recordPhase("follower.push", d.K.Now()-t0)
 	if errors.Is(err, queue.ErrTooLarge) {
-		return 0, errMsgTooLarge
+		return routed{shard: msg.Shard, gen: dynGen(msg)}, errMsgTooLarge
 	}
 	if err == nil && msg.Seq > 0 && msg.Op != OpDeregister && msg.Op != OpTxnCommit {
 		// Once pushed, the leader will complete (or TryCommit) this
@@ -451,7 +539,7 @@ func (d *Deployment) pushToShard(ctx cloud.Ctx, msg leaderMsg) (int64, error) {
 		// by redelivery until the whole transaction is applied.
 		d.lastSeq[msg.Session] = msg.Seq
 	}
-	return shardTxid(seqNo, msg.Shard, d.NumShards()), err
+	return routed{txid: d.msgTxid(seqNo, msg), shard: msg.Shard, gen: dynGen(msg)}, err
 }
 
 func (d *Deployment) unlockAll(ctx cloud.Ctx, locks ...fksync.Lock) {

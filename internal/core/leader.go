@@ -9,6 +9,7 @@ import (
 	"faaskeeper/internal/cloud/faas"
 	"faaskeeper/internal/cloud/kv"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/znode"
 )
@@ -42,10 +43,10 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 			continue
 		}
 		shard = msg.Shard
-		if msg.Op != OpDeregister {
+		if msg.Op != OpDeregister && msg.Op != OpReshardFence {
 			acksOnly = false
 		}
-		msgs = append(msgs, decodedMsg{msg: msg, txid: shardTxid(m.SeqNo, msg.Shard, d.NumShards())})
+		msgs = append(msgs, decodedMsg{msg: msg, txid: d.msgTxid(m.SeqNo, msg)})
 	}
 	if len(msgs) == 0 {
 		return nil
@@ -101,6 +102,13 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 		completions = d.leaderProcessBatched(ctx, msgs, epochs)
 	} else {
 		for _, dm := range msgs {
+			if dm.msg.Op == OpReshardFence {
+				// Every earlier message of this serialized queue has been
+				// fully processed and distributed: release the reshard
+				// coordinator.
+				d.ackFence(ctx, dm.msg)
+				continue
+			}
 			tTotal := d.K.Now()
 			comps := d.leaderProcess(ctx, dm.msg, dm.txid, epochs)
 			completions = append(completions, comps...)
@@ -150,6 +158,12 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 	node, committed := d.awaitCommit(ctx, msg, txid)
 	d.recordPhase("leader.get", d.K.Now()-t0)
 	if !committed {
+		if d.staleDynMsg(ctx, msg, dynGen(msg)) {
+			// Stranded by a reshard: the follower saw its commit fail the
+			// generation guard and is re-routing the request — answering
+			// here would race the retry's response.
+			return nil
+		}
 		d.notifyResult(msg, txid, CodeSystemError, znode.Stat{})
 		return nil
 	}
@@ -292,6 +306,15 @@ func (d *Deployment) awaitCommit(ctx cloud.Ctx, msg leaderMsg, txid int64) (sysN
 				if head == txid {
 					return node, true
 				}
+				if d.dyn != nil && shardmap.ShardOfTxid(head) != msg.Shard {
+					// A migration boundary: the head was minted by another
+					// shard, and txids across shards carry no order — the
+					// head is a live write of the path's new owner, never
+					// an orphan of ours. Keep polling (an uncommitted
+					// stray of this shard gives up and is dropped).
+					d.K.Sleep(sim.Time(attempt+1) * 2 * sim.Ms(1))
+					continue
+				}
 				if head < txid {
 					// Orphan from an abandoned transaction: pop and retry.
 					_, _ = d.System.Update(ctx, nodeKey(msg.Path),
@@ -321,8 +344,12 @@ func (d *Deployment) awaitCommit(ctx cloud.Ctx, msg leaderMsg, txid int64) (sysN
 // tryCommit replays the follower's conditional commit using the lock
 // timestamps carried in the message. It only succeeds while the original
 // locks are still in place, which is exactly the crashed-follower window.
+// On a dynamic deployment the replay carries the same shard-map
+// generation guard the follower's own commit would have carried, so a
+// replay can never land a write that a reshard already fenced out.
 func (d *Deployment) tryCommit(ctx cloud.Ctx, msg leaderMsg, txid int64) bool {
 	lockCond := func(ts int64) kv.Cond { return kv.Eq{Name: "lock", V: kv.N(ts)} }
+	guard := d.dynGuard(msg.Shard, dynGen(msg))
 	switch msg.Op {
 	case OpSetData:
 		ups := []kv.Update{
@@ -331,24 +358,28 @@ func (d *Deployment) tryCommit(ctx cloud.Ctx, msg leaderMsg, txid int64) bool {
 			kv.ListAppend{Name: attrPending, Vals: []int64{txid}},
 			kv.Remove{Name: "lock"},
 		}
+		if guard != nil {
+			ops := append([]kv.TxOp{{Key: nodeKey(msg.Path), Updates: ups, Cond: lockCond(msg.LockTs)}}, guard...)
+			return d.System.Transact(ctx, ops) == nil
+		}
 		_, err := d.System.Update(ctx, nodeKey(msg.Path), ups, lockCond(msg.LockTs))
 		return err == nil
 	case OpCreate:
 		nodeUps := append(createNodeUpdates(txid, msg.EphOwner), kv.Remove{Name: "lock"})
 		parentUps := append(createParentUpdates(msg.ChildAdd, txid), kv.Remove{Name: "lock"})
-		err := d.System.Transact(ctx, []kv.TxOp{
+		ops := []kv.TxOp{
 			{Key: nodeKey(msg.Path), Updates: nodeUps, Cond: lockCond(msg.LockTs)},
 			{Key: nodeKey(msg.ParentPath), Updates: parentUps, Cond: lockCond(msg.ParentLockTs)},
-		})
-		return err == nil
+		}
+		return d.System.Transact(ctx, append(ops, guard...)) == nil
 	case OpDelete:
 		nodeUps := append(deleteNodeUpdates(txid), kv.Remove{Name: "lock"})
 		parentUps := append(deleteParentUpdates(msg.ChildDel, txid), kv.Remove{Name: "lock"})
-		err := d.System.Transact(ctx, []kv.TxOp{
+		ops := []kv.TxOp{
 			{Key: nodeKey(msg.Path), Updates: nodeUps, Cond: lockCond(msg.LockTs)},
 			{Key: nodeKey(msg.ParentPath), Updates: parentUps, Cond: lockCond(msg.ParentLockTs)},
-		})
-		return err == nil
+		}
+		return d.System.Transact(ctx, append(ops, guard...)) == nil
 	}
 	return false
 }
@@ -390,16 +421,18 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 	}
 
 	// A parent is colocated with its children on one shard — except the
-	// root, whose children span all shards; its update is serialized
-	// separately below. A data write to the root object itself must also
-	// hold the lock: a full-object write racing another shard's child
-	// splice would revert the child list. Under the lock the child list is
-	// refreshed from the system store, the source of truth.
-	sharedRoot := d.NumShards() > 1 && msg.ParentPath == znode.Root
-	if d.NumShards() > 1 && msg.Path == znode.Root && newNode != nil {
-		lock := d.acquireRootLock(ctx)
+	// shared paths (the root, whose children span all shards, and the
+	// root node of a split subtree, whose children span the split's
+	// targets); their updates are serialized separately below. A data
+	// write to a shared object itself must also hold the lock: a
+	// full-object write racing another shard's child splice would revert
+	// the child list. Under the lock the child list is refreshed from the
+	// system store, the source of truth.
+	sharedParent := msg.ParentPath != "" && d.isSharedPath(msg.ParentPath)
+	if newNode != nil && d.isSharedPath(msg.Path) {
+		lock := d.acquireSharedLock(ctx, msg.Path)
 		defer func() { _ = d.Locks.Release(ctx, lock) }()
-		d.refreshRootFromSystem(ctx, newNode)
+		d.refreshSharedFromSystem(ctx, msg.Path, newNode)
 	}
 
 	wg := sim.NewWaitGroup(d.K)
@@ -417,7 +450,7 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 			// cache). A read in the window between the two sees exactly
 			// what the direct path would: the store's current value.
 			if rc := d.CacheFor(s.Region()); rc != nil {
-				rc.Invalidate(ctx, cacheInv(msg.Path, txid, stamp))
+				rc.Invalidate(ctx, d.cacheInv(msg.Path, txid, stamp))
 			}
 			switch msg.Op {
 			case OpDelete:
@@ -429,15 +462,15 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 			// which lives in the parent's node object: a read-modify-write
 			// cycle, because object stores lack partial updates
 			// (Section 3.2, Requirement #6).
-			if msg.ParentPath != "" && !sharedRoot {
+			if msg.ParentPath != "" && !sharedParent {
 				d.applyParentRMW(ctx, s, msg, txid, stamp)
 			}
 		})
 	}
 	wg.Wait()
 
-	if sharedRoot {
-		d.updateSharedRoot(ctx, msg, txid, epochs)
+	if sharedParent {
+		d.updateSharedParent(ctx, msg, txid, epochs)
 	}
 
 	var stat znode.Stat
@@ -475,14 +508,23 @@ func (d *Deployment) applyParentRMW(ctx cloud.Ctx, s UserStore, msg leaderMsg, t
 	// child list is now stale; invalidate before the write becomes
 	// readable (same ordering argument as the node update above).
 	if rc := d.CacheFor(s.Region()); rc != nil {
-		rc.Invalidate(ctx, cacheInv(msg.ParentPath, txid, stamp))
+		rc.Invalidate(ctx, d.cacheInv(msg.ParentPath, txid, stamp))
 	}
 	_ = s.Write(ctx, parent, stamp)
 }
 
-// cacheInv assembles the leader's per-path invalidation record.
-func cacheInv(path string, txid int64, stamp []int64) cache.Invalidation {
-	return cache.Invalidation{Path: path, Mzxid: txid, Epoch: stamp}
+// cacheInv assembles the leader's per-path invalidation record, stamped
+// with the shard-map epoch on dynamic deployments (0 otherwise).
+func (d *Deployment) cacheInv(path string, txid int64, stamp []int64) cache.Invalidation {
+	return cache.Invalidation{Path: path, Mzxid: txid, Epoch: stamp, MapEpoch: d.cacheMapEpoch()}
+}
+
+// cacheMapEpoch is the map epoch carried on cache invalidation records.
+func (d *Deployment) cacheMapEpoch() int64 {
+	if d.dyn == nil {
+		return 0
+	}
+	return d.mapView().Epoch
 }
 
 // appendEpochs enters fired watch ids into the shard's per-region epoch
@@ -501,12 +543,12 @@ func (d *Deployment) appendEpochs(ctx cloud.Ctx, fired []firedWatch, shard int, 
 	}
 }
 
-// refreshRootFromSystem overwrites a root object's child list (and raises
-// its child stamps) from the system store, the source of truth. Must run
-// under the root lock: a full-object root write racing another shard's
-// child splice would otherwise revert the child list.
-func (d *Deployment) refreshRootFromSystem(ctx cloud.Ctx, n *znode.Node) {
-	it, ok := d.System.Get(ctx, nodeKey(znode.Root), true)
+// refreshSharedFromSystem overwrites a shared object's child list (and
+// raises its child stamps) from the system store, the source of truth.
+// Must run under the path's shared lock: a full-object write racing
+// another shard's child splice would otherwise revert the child list.
+func (d *Deployment) refreshSharedFromSystem(ctx cloud.Ctx, path string, n *znode.Node) {
+	it, ok := d.System.Get(ctx, nodeKey(path), true)
 	if !ok {
 		return
 	}
@@ -521,27 +563,28 @@ func (d *Deployment) refreshRootFromSystem(ctx cloud.Ctx, n *znode.Node) {
 	}
 }
 
-// acquireRootLock takes the system-store timed lock serializing every
-// write to the root's user-store object. It retries until acquired: the
-// lease makes the lock recoverable after a crash, and skipping a root
-// update would permanently corrupt the root's child listing.
-func (d *Deployment) acquireRootLock(ctx cloud.Ctx) fksync.Lock {
+// acquireSharedLock takes the system-store timed lock serializing every
+// write to a shared path's user-store object (the tree root, or the root
+// node of a split subtree). It retries until acquired: the lease makes
+// the lock recoverable after a crash, and skipping the update would
+// permanently corrupt the shared object's child listing.
+func (d *Deployment) acquireSharedLock(ctx cloud.Ctx, path string) fksync.Lock {
 	for {
-		l, _, err := d.Locks.AcquireWait(ctx, rootUpdateLockKey, 0)
+		l, _, err := d.Locks.AcquireWait(ctx, sharedLockKey(path), 0)
 		if err == nil {
 			return l
 		}
 	}
 }
 
-// updateSharedRoot applies a top-level create/delete to the root's
-// user-store object in every region, serialized under the root lock (two
-// shards interleaving the read-modify-write would lose children). The
-// per-region stamps already hold the union of every shard's epoch list,
-// so an in-flight child-watch notification fired by any shard still holds
-// reads of the root (Z4).
-func (d *Deployment) updateSharedRoot(ctx cloud.Ctx, msg leaderMsg, txid int64, epochs map[cloud.Region][]int64) {
-	lock := d.acquireRootLock(ctx)
+// updateSharedParent applies a create/delete under a shared parent to the
+// parent's user-store object in every region, serialized under the
+// path's shared lock (two shards interleaving the read-modify-write would
+// lose children). The per-region stamps already hold the union of every
+// shard's epoch list, so an in-flight child-watch notification fired by
+// any shard still holds reads of the parent (Z4).
+func (d *Deployment) updateSharedParent(ctx cloud.Ctx, msg leaderMsg, txid int64, epochs map[cloud.Region][]int64) {
+	lock := d.acquireSharedLock(ctx, msg.ParentPath)
 	defer func() { _ = d.Locks.Release(ctx, lock) }()
 
 	wg := sim.NewWaitGroup(d.K)
@@ -564,14 +607,14 @@ type firedWatch struct {
 }
 
 // queryWatches reads the watch registrations touched by this operation and
-// clears the fired (one-shot) groups. Root watch groups on a multi-shard
-// deployment are claimed with a conditional remove: two shard leaders may
-// race between the read and the clear there (the root is the only path
-// whose watches fire from more than one shard), and firing the same group
-// twice would consume a watch the client re-registered in its callback —
-// only the leader whose conditional clear lands gets to fire. Everywhere
-// else the owning shard's leader is serialized and keeps the paper's one
-// batched clear.
+// clears the fired (one-shot) groups. Shared-path watch groups (the root
+// of a multi-shard deployment, a split subtree's root) are claimed with a
+// conditional remove: two shard leaders may race between the read and the
+// clear there (shared paths are the only ones whose watches fire from
+// more than one shard), and firing the same group twice would consume a
+// watch the client re-registered in its callback — only the leader whose
+// conditional clear lands gets to fire. Everywhere else the owning
+// shard's leader is serialized and keeps the paper's one batched clear.
 func (d *Deployment) queryWatches(ctx cloud.Ctx, msg leaderMsg) []firedWatch {
 	var fired []firedWatch
 	collect := func(path string, pairs []struct {
@@ -589,7 +632,7 @@ func (d *Deployment) queryWatches(ctx cloud.Ctx, msg leaderMsg) []firedWatch {
 			if len(sessions) == 0 {
 				continue
 			}
-			if d.NumShards() > 1 && path == znode.Root {
+			if d.isSharedPath(path) {
 				_, err := d.System.Update(ctx, watchKey(path),
 					[]kv.Update{kv.Remove{Name: p.attr}}, kv.AttrExists{Name: p.attr})
 				if err != nil {
@@ -634,6 +677,9 @@ func (d *Deployment) notifyResult(msg leaderMsg, txid int64, code Code, stat zno
 	resp := Response{
 		Session: msg.Session, Seq: msg.Seq, Code: code, Path: msg.Path,
 		Stat: stat, Txid: txid,
+	}
+	if d.dyn != nil {
+		resp.MapEpoch = d.mapView().Epoch
 	}
 	d.notify(msg.Session, resp, resp.wireSize())
 }

@@ -46,6 +46,7 @@ import (
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/kv"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/txn"
 	"faaskeeper/internal/znode"
@@ -132,16 +133,23 @@ type multiItem struct {
 }
 
 // multiPlan is the coordinator's prepared state: every touched item
-// locked, every op validated and resolved.
+// locked, every op validated and resolved. route is the plan's routing
+// snapshot (one map view for the whole transaction); mv is the snapshot's
+// map on a dynamic deployment (nil otherwise), whose per-shard
+// generations guard the commit.
 type multiPlan struct {
 	resolved []txn.ResolvedOp
 	items    map[string]*multiItem
 	order    []string // lock acquisition order
 	specs    map[string]*specNode
+	route    func(string) int
+	mv       *shardmap.Map
 }
 
-func newMultiPlan() *multiPlan {
-	return &multiPlan{items: map[string]*multiItem{}, specs: map[string]*specNode{}}
+func newMultiPlan(d *Deployment) *multiPlan {
+	p := &multiPlan{items: map[string]*multiItem{}, specs: map[string]*specNode{}}
+	p.route, p.mv = d.routeFn()
+	return p
 }
 
 // acquire locks one item (idempotently) and seeds its speculative state.
@@ -195,8 +203,7 @@ func (p *multiPlan) lockTs() []int64 {
 // On validation failure every lock is released and the failing op's index
 // and code are returned (failIdx >= 0). err is infrastructure-only.
 func (d *Deployment) prepareMulti(ctx cloud.Ctx, req Request, reqOps []txn.Op) (plan *multiPlan, failIdx int, code Code, err error) {
-	plan = newMultiPlan()
-	n := d.NumShards()
+	plan = newMultiPlan(d)
 	// Statically known paths, each tagged with its first-touching op's
 	// shard (parents are colocated with children; only the shared root can
 	// be claimed by any op's shard).
@@ -207,7 +214,7 @@ func (d *Deployment) prepareMulti(ctx cloud.Ctx, req Request, reqOps []txn.Op) (
 		}
 	}
 	for _, op := range reqOps {
-		s := ShardOf(op.Path, n)
+		s := plan.route(op.Path)
 		switch op.Type {
 		case txn.OpCreate:
 			if op.Path == znode.Root {
@@ -263,7 +270,6 @@ func (d *Deployment) prepareMulti(ctx cloud.Ctx, req Request, reqOps []txn.Op) (
 // validateMultiOp mirrors the follower's per-op validation against the
 // plan's speculative state and resolves the op on success.
 func (d *Deployment) validateMultiOp(ctx cloud.Ctx, plan *multiPlan, op txn.Op, session string) (txn.ResolvedOp, Code, error) {
-	n := d.NumShards()
 	switch op.Type {
 	case txn.OpSetData:
 		sp := plan.specs[op.Path]
@@ -276,7 +282,7 @@ func (d *Deployment) validateMultiOp(ctx cloud.Ctx, plan *multiPlan, op txn.Op, 
 		sp.version++
 		return txn.ResolvedOp{
 			Type: op.Type, Path: op.Path, Data: op.Data, Version: sp.version,
-			EphOwner: sp.ephOwner, Shard: ShardOf(op.Path, n),
+			EphOwner: sp.ephOwner, Shard: plan.route(op.Path),
 		}, CodeOK, nil
 	case txn.OpCheck:
 		sp := plan.specs[op.Path]
@@ -286,7 +292,7 @@ func (d *Deployment) validateMultiOp(ctx cloud.Ctx, plan *multiPlan, op txn.Op, 
 		if op.Version != -1 && op.Version != sp.version {
 			return txn.ResolvedOp{}, CodeBadVersion, nil
 		}
-		return txn.ResolvedOp{Type: op.Type, Path: op.Path, Shard: ShardOf(op.Path, n)}, CodeOK, nil
+		return txn.ResolvedOp{Type: op.Type, Path: op.Path, Shard: plan.route(op.Path)}, CodeOK, nil
 	case txn.OpCreate:
 		if op.Path == znode.Root {
 			return txn.ResolvedOp{}, CodeNodeExists, nil
@@ -303,7 +309,7 @@ func (d *Deployment) validateMultiOp(ctx cloud.Ctx, plan *multiPlan, op txn.Op, 
 		if op.Flags&znode.FlagSequential != 0 {
 			finalPath = znode.SequentialName(op.Path, pp.seqCtr)
 		}
-		shard := ShardOf(finalPath, n)
+		shard := plan.route(finalPath)
 		if err := plan.acquire(d, ctx, finalPath, shard); err != nil {
 			return txn.ResolvedOp{}, CodeSystemError, err
 		}
@@ -351,7 +357,7 @@ func (d *Deployment) validateMultiOp(ctx cloud.Ctx, plan *multiPlan, op txn.Op, 
 		pp.children[name] = false
 		return txn.ResolvedOp{
 			Type: op.Type, Path: op.Path, ParentPath: parentPath,
-			Cversion: pp.cversion, EphOwner: owner, ChildDel: name, Shard: ShardOf(op.Path, n),
+			Cversion: pp.cversion, EphOwner: owner, ChildDel: name, Shard: plan.route(op.Path),
 		}, CodeOK, nil
 	}
 	return txn.ResolvedOp{}, CodeSystemError, nil
@@ -561,6 +567,21 @@ func (d *Deployment) applyEphRecords(ctx cloud.Ctx, resolved []txn.ResolvedOp) {
 	}
 }
 
+// planWentStale reports whether any of a plan's shard groups routed with
+// a since-superseded map generation (the transaction must re-route).
+func (d *Deployment) planWentStale(ctx cloud.Ctx, plan *multiPlan) bool {
+	if plan.mv == nil {
+		return false
+	}
+	cur := d.refreshMap(ctx)
+	for s := range plan.itemsByShard() {
+		if cur.GenOf(s) != plan.mv.GenOf(s) {
+			return true
+		}
+	}
+	return false
+}
+
 // respondMultiAbort answers a multi() that failed validation: the failing
 // op carries its own code, the siblings report the rollback. failIdx < 0
 // marks a recovery answer where the failing op is no longer known.
@@ -588,6 +609,9 @@ func (d *Deployment) notifyMulti(req Request, results []txn.Result, commits map[
 	resp := Response{
 		Session: req.Session, Seq: req.Seq, Code: CodeOK, Path: req.Path,
 		Txid: maxTxid, MultiResults: results,
+	}
+	if d.dyn != nil {
+		resp.MapEpoch = d.mapView().Epoch
 	}
 	d.notify(req.Session, resp, resp.wireSize())
 }
@@ -695,11 +719,40 @@ func (d *Deployment) followerMulti(ctx cloud.Ctx, req Request) error {
 		}
 		// The crashed attempt was aborted and cleaned; run a fresh one.
 	}
-	shards, _ := txn.Route(reqOps, func(p string) int { return ShardOf(p, d.NumShards()) })
-	if len(shards) == 1 {
-		return d.multiFastPath(ctx, req, reqOps)
+	for attempt := 0; attempt <= staleRouteRetries; attempt++ {
+		// A transaction's shard groups must all come from one map epoch,
+		// and its phase-two commit messages are ordered by intents rather
+		// than queue position — so multis simply wait out any in-flight
+		// migration instead of gating per path (the reshard engine in
+		// turn waits for live transactions to finish before draining).
+		d.awaitTxnRoutable(ctx)
+		route, _ := d.routeFn()
+		shards, _ := txn.Route(reqOps, route)
+		if len(shards) == 1 {
+			err = d.multiFastPath(ctx, req, reqOps)
+		} else {
+			err = d.multiTwoPhase(ctx, req, reqOps)
+		}
+		if !errors.Is(err, errStaleRoute) {
+			return err
+		}
 	}
-	return d.multiTwoPhase(ctx, req, reqOps)
+	d.respondFailure(req, CodeSystemError)
+	return nil
+}
+
+// awaitTxnRoutable blocks while any migration is in flight (dynamic
+// deployments only; one strongly consistent map read per poll).
+func (d *Deployment) awaitTxnRoutable(ctx cloud.Ctx) {
+	if d.dyn == nil {
+		return
+	}
+	if d.mapView().Mig == nil {
+		return
+	}
+	for attempt := 0; d.refreshMap(ctx).Mig != nil; attempt++ {
+		d.K.Sleep(sim.Time(min(attempt+1, 10)) * 2 * sim.Ms(1))
+	}
 }
 
 // multiFastPath commits a single-shard multi through the existing
@@ -736,11 +789,17 @@ func (d *Deployment) multiFastPath(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 	}
 	shard := shards[0]
 	msg := leaderMsg{
-		Session: req.Session, Seq: req.Seq, Op: OpMulti,
+		Session: req.Session, Seq: req.Seq, Op: OpMulti, Shard: shard,
 		Path:     anchorPath(plan.resolved, shard),
 		NodeBlob: txnMsg{Ops: plan.resolved, ItemPaths: plan.order, LockTs: plan.lockTs()}.encode(),
 	}
-	txid, err := d.pushToLeader(ctx, msg)
+	if plan.mv != nil {
+		// Route with the plan's snapshot, not the live view: the commit
+		// below pins the snapshot's generation, so a refresh between
+		// planning and pushing cannot desynchronize message and guard.
+		dynStamp(&msg, plan.mv)
+	}
+	r, err := d.pushToShard(ctx, msg)
 	if err != nil {
 		plan.unlock(d, ctx)
 		code := CodeSystemError
@@ -750,6 +809,7 @@ func (d *Deployment) multiFastPath(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 		d.respondFailure(req, code)
 		return nil
 	}
+	txid := r.txid
 	if d.crashInjected() {
 		return errInjectedCrash
 	}
@@ -762,9 +822,13 @@ func (d *Deployment) multiFastPath(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 		parts = append(parts, fksync.TxPart{Lock: plan.items[p].lock, Updates: ups[p]})
 	}
 	t0 := d.K.Now()
-	err = d.Locks.CommitUnlockTx(ctx, parts)
+	err = d.Locks.CommitUnlockTxGuard(ctx, parts, d.dynGuard(r.shard, r.gen))
 	d.recordPhase("follower.commit", d.K.Now()-t0)
 	if err != nil {
+		if d.staleRoutedCommit(ctx, r.shard, r.gen) {
+			plan.unlock(d, ctx)
+			return errStaleRoute
+		}
 		return nil // lease lost: the leader's replay may still recover it
 	}
 	d.applyEphRecords(ctx, plan.resolved)
@@ -811,8 +875,20 @@ func (d *Deployment) multiTwoPhase(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 			defer wg.Done()
 			verdict := "ok"
 			for _, it := range items {
-				if _, err := d.Locks.CommitUnlock(ctx, it.lock,
-					[]kv.Update{kv.Set{Name: attrTxnIntent, V: kv.N(id)}}); err != nil {
+				var err error
+				ups := []kv.Update{kv.Set{Name: attrTxnIntent, V: kv.N(id)}}
+				// The intent conversion pins the group's routing
+				// generation: once an intent is placed, the reshard
+				// engine is already fenced out (it waits for live
+				// transactions), so the guard only needs to reject a plan
+				// routed with a superseded map.
+				if guard := d.dynGuardMV(plan.mv, s); guard != nil {
+					err = d.Locks.CommitUnlockTxGuard(ctx,
+						[]fksync.TxPart{{Lock: it.lock, Updates: ups}}, guard)
+				} else {
+					_, err = d.Locks.CommitUnlock(ctx, it.lock, ups)
+				}
+				if err != nil {
 					verdict = "fail:" + string(CodeSystemError)
 					break // lease lost mid-prepare: isolation not guaranteed
 				}
@@ -834,6 +910,9 @@ func (d *Deployment) multiTwoPhase(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 		plan.unlock(d, ctx) // locks that never became intents
 		d.clearTxnMarks(ctx, id, plan.order)
 		d.Txns.Delete(ctx, id, req.Session, req.Seq)
+		if d.planWentStale(ctx, plan) {
+			return errStaleRoute // re-route the whole transaction
+		}
 		d.respondFailure(req, CodeSystemError)
 		return nil
 	}
@@ -873,13 +952,20 @@ func (d *Deployment) txnCommitDrive(ctx cloud.Ctx, req Request, id int64, resolv
 			Path:     anchorPath(resolved, s),
 			NodeBlob: txnMsg{ID: id, Ops: resolvedOfShard(resolved, s)}.encode(),
 		}
-		txid, err := d.pushToShard(ctx, msg)
+		if d.dyn != nil {
+			// Stamp the txid base so the shard's leader derives the same
+			// txid the record holds (the generation is irrelevant here —
+			// a committed transaction is applied regardless of reshards,
+			// which wait for it instead).
+			dynStamp(&msg, d.mapView())
+		}
+		r, err := d.pushToShard(ctx, msg)
 		if err != nil {
 			return err // redelivery re-drives from the record
 		}
 		if !pushed {
-			_ = d.Txns.NoteCommit(ctx, id, s, txid)
-			commits[s] = txid
+			_ = d.Txns.NoteCommit(ctx, id, s, r.txid)
+			commits[s] = r.txid
 		}
 	}
 	// The shared root's merged updates are coordinator-owned; then each
@@ -1025,8 +1111,10 @@ func (d *Deployment) resumeTxn(ctx cloud.Ctx, req Request, reqOps []txn.Op, id i
 // every target node's pending head must become txid. Like awaitCommit it
 // clears orphaned heads and replays the commit on behalf of a crashed
 // coordinator — conditional on the fast path's timed locks or the
-// cross-shard intents, whichever the message carries.
-func (d *Deployment) awaitTxnHeads(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int64) (map[string]sysNode, bool) {
+// cross-shard intents, whichever the message carries. shard/gen identify
+// the message's routing for the dynamic foreign-head rule and the
+// fast-path replay's generation guard.
+func (d *Deployment) awaitTxnHeads(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int64, shard int, gen int64) (map[string]sysNode, bool) {
 	targets := txnTargets(tm.Ops)
 	states := map[string]sysNode{}
 	triedCommit := false
@@ -1043,6 +1131,13 @@ func (d *Deployment) awaitTxnHeads(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int
 					head := node.Pending[0]
 					if head == txid {
 						states[p] = node
+						continue
+					}
+					if d.dyn != nil && shardmap.ShardOfTxid(head) != shard {
+						// Migration boundary: a foreign-shard head is a
+						// live write of the path's new owner, never an
+						// orphan of ours (see awaitCommit).
+						allOK = false
 						continue
 					}
 					if head < txid {
@@ -1062,7 +1157,7 @@ func (d *Deployment) awaitTxnHeads(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int
 		}
 		if attempt >= 2 && !triedCommit {
 			triedCommit = true
-			d.tryCommitTxn(ctx, op, tm, txid)
+			d.tryCommitTxn(ctx, op, tm, txid, shard, gen)
 			continue
 		}
 		d.K.Sleep(sim.Time(attempt+1) * 2 * sim.Ms(1))
@@ -1072,8 +1167,11 @@ func (d *Deployment) awaitTxnHeads(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int
 
 // tryCommitTxn replays a transaction message's system-store commit on
 // behalf of a crashed coordinator: the fast path under the original timed
-// locks, a cross-shard shard under the intent/mark guard.
-func (d *Deployment) tryCommitTxn(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int64) bool {
+// locks (plus the routing-generation guard on a dynamic deployment, like
+// tryCommit), a cross-shard shard under the intent/mark guard — never
+// generation-guarded, because a durably committed transaction must stay
+// appliable (the reshard engine waits live transactions out instead).
+func (d *Deployment) tryCommitTxn(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int64, shard int, gen int64) bool {
 	if op == OpTxnCommit {
 		return d.txnSysCommit(ctx, tm.ID, tm.Ops, txid)
 	}
@@ -1093,6 +1191,7 @@ func (d *Deployment) tryCommitTxn(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int6
 			Cond: kv.Eq{Name: fksync.LockAttr, V: kv.N(ts[p])},
 		})
 	}
+	txops = append(txops, d.dynGuard(shard, gen)...)
 	return d.System.Transact(ctx, txops) == nil
 }
 
@@ -1101,9 +1200,12 @@ func (d *Deployment) tryCommitTxn(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int6
 // distribute it atomically within the shard's serialized pipeline.
 func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, txid int64, epochs map[cloud.Region][]int64) []watchCompletion {
 	t0 := d.K.Now()
-	states, ok := d.awaitTxnHeads(ctx, msg.Op, tm, txid)
+	states, ok := d.awaitTxnHeads(ctx, msg.Op, tm, txid, msg.Shard, dynGen(msg))
 	d.recordPhase("leader.get", d.K.Now()-t0)
 	if !ok {
+		if d.staleDynMsg(ctx, msg, dynGen(msg)) {
+			return nil // stranded by a reshard: the coordinator re-routes
+		}
 		d.notifyResult(msg, txid, CodeSystemError, znode.Stat{})
 		return nil
 	}
@@ -1147,6 +1249,9 @@ func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg,
 		Session: msg.Session, Seq: msg.Seq, Code: CodeOK, Path: msg.Path,
 		Txid: txid, MultiResults: results,
 	}
+	if d.dyn != nil {
+		resp.MapEpoch = d.mapView().Epoch
+	}
 	d.notify(msg.Session, resp, resp.wireSize())
 	return comps
 }
@@ -1168,7 +1273,7 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 		txid = t // a re-pushed message: the first push's txid is authoritative
 	}
 	t0 := d.K.Now()
-	_, ok := d.awaitTxnHeads(ctx, msg.Op, tm, txid)
+	_, ok := d.awaitTxnHeads(ctx, msg.Op, tm, txid, msg.Shard, dynGen(msg))
 	d.recordPhase("leader.get", d.K.Now()-t0)
 	if !ok {
 		// The coordinator died before its commit write and the intent
@@ -1193,10 +1298,20 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 		d.popPending(ctx, leaderMsg{Op: OpSetData, Path: p}, txid, false)
 	}
 	_, _ = d.Txns.Ready(ctx, tm.ID, msg.Shard)
-	for _, f := range fired {
-		f := f
-		payload := watchPayload{WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions}
-		d.K.Go("txn-watch", func() {
+	if len(fired) > 0 {
+		// One post-apply delivery batch for the whole shard: a single
+		// goroutine polls the record once (instead of one poller per
+		// watch), launches every delivery in parallel once the
+		// transaction is readable, and — after all of them complete —
+		// exits every watch id from each region's epoch counter in ONE
+		// atomic list-remove per region instead of one per watch. Same
+		// Z4 ordering (no delivery before the apply, no epoch exit before
+		// its delivery completes), a per-shard-constant number of epoch
+		// writes for watch-heavy transactional workloads.
+		fired := fired
+		d.txnWatchBatches++
+		d.txnWatchDeliveries += int64(len(fired))
+		d.K.Go("txn-watch-batch", func() {
 			// A missing record counts as applied (finished + collected).
 			// A timed-out poll (ok=false) means the coordinator is still
 			// being re-driven by redelivery: keep waiting — delivering
@@ -1207,11 +1322,19 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 					break
 				}
 			}
-			fut := d.Platform.InvokeAsync(ctx, FnWatch, payload.encode())
-			_ = fut.Wait()
+			futs := make([]*sim.Future[error], 0, len(fired))
+			wids := make([]int64, 0, len(fired))
+			for _, f := range fired {
+				payload := watchPayload{WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions}
+				futs = append(futs, d.Platform.InvokeAsync(ctx, FnWatch, payload.encode()))
+				wids = append(wids, f.wid)
+			}
+			for _, fut := range futs {
+				_ = fut.Wait()
+			}
 			for _, s := range d.Stores {
 				_, _ = d.System.Update(ctx, epochKey(s.Region(), msg.Shard),
-					[]kv.Update{kv.ListRemove{Name: attrEpochList, Vals: []int64{f.wid}}}, nil)
+					[]kv.Update{kv.ListRemove{Name: attrEpochList, Vals: wids}}, nil)
 			}
 		})
 	}

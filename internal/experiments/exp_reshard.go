@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"faaskeeper/internal/core"
+	"faaskeeper/internal/costmodel"
+	"faaskeeper/internal/fkclient"
+	"faaskeeper/internal/sim"
+	"faaskeeper/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "reshard",
+		Title: "Live resharding: hot-subtree splits on the dynamic shard map",
+		Ref:   "beyond the paper (ROADMAP: shard auto-scaling, hot-subtree mitigation)",
+		Run:   runReshard,
+	})
+}
+
+// reshardPhase is one measured window of the reshard workload.
+type reshardPhase struct {
+	writes     int
+	elapsedSec float64
+	lat        *stats.Sample
+}
+
+func (p reshardPhase) throughput() float64 {
+	if p.elapsedSec <= 0 {
+		return 0
+	}
+	return float64(p.writes) / p.elapsedSec
+}
+
+// reshardOutcome aggregates a run's correctness counters.
+type reshardOutcome struct {
+	phases     []reshardPhase
+	violations int // per-path mzxid regressions observed in responses
+	lost       int // acked writes missing from the final state
+	writeErrs  int
+}
+
+// runReshardWorkload drives sessions writers inside /hot on a dynamic
+// deployment. Phases partition each writer's ops; between phases the
+// supplied transition runs (nil = none). midSplit instead fires the
+// transition concurrently after midAfter acked writes in phase 0.
+func runReshardWorkload(seed int64, shards, sessions, opsPerPhase, phases int,
+	transition func(d *core.Deployment) error, midSplit bool) reshardOutcome {
+	k := sim.NewKernel(seed)
+	d := core.NewDeployment(k, core.Config{WriteShards: shards, DynamicShards: true})
+	out := reshardOutcome{phases: make([]reshardPhase, phases)}
+	for i := range out.phases {
+		out.phases[i] = reshardPhase{writes: sessions * opsPerPhase, lat: stats.NewSample(sessions * opsPerPhase)}
+	}
+	paths := make([]string, sessions)
+	acked := make([]int, sessions)
+	k.Go("driver", func() {
+		setup, err := fkclient.Connect(d, "setup", d.Cfg.Profile.Home)
+		if err != nil {
+			return
+		}
+		if _, err := setup.Create("/hot", nil, 0); err != nil {
+			return
+		}
+		for i := range paths {
+			paths[i] = fmt.Sprintf("/hot/n%d", i)
+			if _, err := setup.Create(paths[i], nil, 0); err != nil {
+				return
+			}
+		}
+		clients := make([]*fkclient.Client, sessions)
+		for i := range clients {
+			c, err := fkclient.Connect(d, fmt.Sprintf("s%d", i), d.Cfg.Profile.Home)
+			if err != nil {
+				return
+			}
+			clients[i] = c
+		}
+		payload := bytes.Repeat([]byte("x"), 128)
+		lastMzxid := make([]int64, sessions)
+		runPhase := func(phase int, concurrent func()) {
+			done := sim.NewWaitGroup(k)
+			t0 := k.Now()
+			for i := range clients {
+				i := i
+				done.Add(1)
+				k.Go(fmt.Sprintf("writer-%d-%d", phase, i), func() {
+					defer done.Done()
+					for op := 0; op < opsPerPhase; op++ {
+						ts := k.Now()
+						st, err := clients[i].SetData(paths[i], payload, -1)
+						if err != nil {
+							out.writeErrs++
+							return
+						}
+						if st.Mzxid <= lastMzxid[i] {
+							out.violations++
+						}
+						lastMzxid[i] = st.Mzxid
+						acked[i]++
+						out.phases[phase].lat.AddDur(k.Now() - ts)
+					}
+				})
+			}
+			if concurrent != nil {
+				done.Add(1)
+				k.Go("resharder", func() {
+					defer done.Done()
+					concurrent()
+				})
+			}
+			done.Wait()
+			out.phases[phase].elapsedSec = (k.Now() - t0).Seconds()
+		}
+		for phase := 0; phase < phases; phase++ {
+			var concurrent func()
+			if midSplit && phase == 0 && transition != nil {
+				concurrent = func() {
+					// Land the transition in the middle of the window.
+					k.Sleep(500 * sim.Ms(1))
+					_ = transition(d)
+				}
+			}
+			runPhase(phase, concurrent)
+			if !midSplit && transition != nil && phase < phases-1 {
+				_ = transition(d)
+			}
+		}
+		// No lost acknowledged write: final versions count every ack.
+		for i, p := range paths {
+			_, st, err := setup.GetData(p)
+			if err != nil || int(st.Version) != acked[i] {
+				out.lost += acked[i] - int(st.Version)
+			}
+		}
+		for _, c := range clients {
+			c.Close()
+		}
+		setup.Close()
+	})
+	k.Run()
+	k.Shutdown()
+	return out
+}
+
+func runReshard(cfg RunConfig) *Report {
+	r := &Report{
+		ID:    "reshard",
+		Title: "Dynamic shard maps: live hot-subtree splits",
+		Ref:   "beyond the paper (ROADMAP: shard auto-scaling, hot-subtree mitigation)",
+	}
+	sessions := 12
+	ops := cfg.reps(6, 20)
+	if cfg.Quick {
+		sessions = 8
+	}
+
+	// Before/after: every session inside /hot pins one of two queues;
+	// splitting /hot four ways re-routes its second-level subtrees over
+	// four fresh queues while the writers keep writing.
+	split := func(d *core.Deployment) error { return d.SplitSubtree("/hot", 4) }
+	ba := runReshardWorkload(cfg.Seed, 2, sessions, ops, 2, split, false)
+	s := r.AddSection(
+		fmt.Sprintf("Hot subtree (%d sessions × %d writes of 128 B per phase), split between phases",
+			sessions, ops),
+		[]string{"phase", "writes/s", "recovery", "p50 ms", "p99 ms", "violations", "lost acks"})
+	pre, post := ba.phases[0], ba.phases[1]
+	ratio := "-"
+	if pre.throughput() > 0 {
+		ratio = fmt.Sprintf("%.2fx", post.throughput()/pre.throughput())
+	}
+	s.AddRow("pre-split (/hot pinned on 1 of 2 queues)", f1(pre.throughput()), "1.00x",
+		f1(pre.lat.Percentile(50)), f1(pre.lat.Percentile(99)),
+		fmt.Sprintf("%d", ba.violations), fmt.Sprintf("%d", ba.lost))
+	s.AddRow("post-split (/hot over 4 queues)", f1(post.throughput()), ratio,
+		f1(post.lat.Percentile(50)), f1(post.lat.Percentile(99)),
+		fmt.Sprintf("%d", ba.violations), fmt.Sprintf("%d", ba.lost))
+
+	// The split landing mid-workload: writers never pause; the gate holds
+	// only /hot's in-flight writes for the drain, and every acknowledged
+	// write must survive the migration.
+	mid := runReshardWorkload(cfg.Seed+1, 2, sessions, 2*ops, 1, split, true)
+	base := runReshardWorkload(cfg.Seed+2, 2, sessions, 2*ops, 1, nil, false)
+	s2 := r.AddSection(
+		fmt.Sprintf("Split landing mid-workload (%d sessions × %d writes, concurrent writers)",
+			sessions, 2*ops),
+		[]string{"run", "writes/s", "violations", "lost acks", "write errors"})
+	s2.AddRow("no reshard (2 queues)", f1(base.phases[0].throughput()),
+		fmt.Sprintf("%d", base.violations), fmt.Sprintf("%d", base.lost), fmt.Sprintf("%d", base.writeErrs))
+	s2.AddRow("split at ~0.5 s", f1(mid.phases[0].throughput()),
+		fmt.Sprintf("%d", mid.violations), fmt.Sprintf("%d", mid.lost), fmt.Sprintf("%d", mid.writeErrs))
+
+	m := costmodel.NewAWSModel(2048)
+	r.Note("The reshard protocol: gate the migrating prefixes (only their writers wait), drain the source queues behind a fence message, then flip the map epoch with the destinations' txid bases raised past the drain bound — readers never block, untouched subtrees never stall, and per-path mzxid stays monotonic across the shard change (violations column).")
+	r.Note("A transition itself costs ~$%.8f (4 sources, model: 2 map writes + fences + acks + polling) on top of $%.10f per write for the map-generation commit guard — noise against the hot traffic that warrants the split.",
+		m.ReshardCost(4, 30, sessions, 512, 128), m.DynamicWriteOverhead())
+	return r
+}

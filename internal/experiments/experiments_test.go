@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab1", "fig4a", "fig4b", "fig5", "tab6a", "fig6b",
 		"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
 		"tab3", "fig11", "fig12", "fig13", "tab4", "fig14", "sec532x",
-		"ablations", "sharding", "caching", "batching", "txn",
+		"ablations", "sharding", "caching", "batching", "txn", "reshard",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -15,6 +15,7 @@ import (
 	"faaskeeper/internal/cache"
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/core"
+	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/txn"
 	"faaskeeper/internal/znode"
@@ -68,6 +69,19 @@ type Client struct {
 	lcache   *cache.LRU
 	cacheTTL time.Duration
 	lastSeen map[string]int64
+
+	// smap is the session's cached view of the dynamic shard map (nil on
+	// static deployments). The client uses it for per-shard MRD floor
+	// lookups and shared-path cacheability, and refreshes it whenever a
+	// response proves a newer epoch exists. A stale view is safe for the
+	// floor lookups (they are conservative relative to the cloud-side
+	// guards), but the shared-path cacheability decision needs bounded
+	// freshness — a read-only session sees no responses — so sessions
+	// with a client cache additionally re-read the map every CacheTTL
+	// (smapAt), bounding a freshly split subtree root's client-cache
+	// exposure to the same window every cached entry already has.
+	smap   *shardmap.Map
+	smapAt sim.Time
 	// sysFloor is the newest transaction this session has observed
 	// through any read (including a parent's pzxid — a child splice
 	// advances system state without touching mzxid) or its own write
@@ -115,6 +129,10 @@ func Connect(d *core.Deployment, id string, region cloud.Region) (*Client, error
 		mrd:       map[int]int64{},
 		watches:   map[int64]*watchEntry{},
 	}
+	if d.Dynamic() {
+		c.smap = d.LoadShardMap(c.ctx)
+		c.smapAt = d.K.Now()
+	}
 	if rc := d.CacheFor(region); rc != nil {
 		c.rcache = rc
 		c.cacheTTL = d.Cfg.CacheTTL
@@ -125,6 +143,24 @@ func Connect(d *core.Deployment, id string, region cloud.Region) (*Client, error
 	}
 	if err := d.RegisterSession(c.ctx, id); err != nil {
 		return nil, err
+	}
+	if c.lcache != nil && d.Cfg.CacheWarmK > 0 {
+		// Connect-time warm-up: prefetch the regional node's hot set into
+		// the session cache and seed the per-path floors, so the first
+		// read of a hot path is already a local hit. Safe for a fresh
+		// session: an entry the regional node still holds is the path's
+		// current committed state (push-invalidation), exactly what a
+		// first direct read could return, and raising lastSeen only makes
+		// later guard checks stricter.
+		for _, w := range c.rcache.Warmup(c.ctx, d.Cfg.CacheWarmK) {
+			if !c.l1Cacheable(w.Path) {
+				continue
+			}
+			c.lcache.Put(w.Path, cache.Entry{Blob: w.Entry.Blob, Mzxid: w.Entry.Mzxid, FilledAt: d.K.Now()})
+			if w.Entry.Mzxid > c.lastSeen[w.Path] {
+				c.lastSeen[w.Path] = w.Entry.Mzxid
+			}
+		}
 	}
 	d.K.Go("client-sender-"+id, c.senderLoop)
 	d.K.Go("client-responder-"+id, c.responderLoop)
@@ -241,6 +277,7 @@ func (c *Client) onResponse(r core.Response) {
 				c.noteOwnWrite(op.req.Op, resp)
 			}
 		}
+		c.refreshMap(resp.MapEpoch)
 		op.done.TryComplete(resp)
 	}
 }
@@ -313,12 +350,56 @@ func (c *Client) noteOwnMulti(results []txn.Result) {
 	}
 }
 
+// routeOf returns the shard currently owning a path's writes under the
+// session's cached map view (the static route otherwise).
+func (c *Client) routeOf(path string) int {
+	if c.smap != nil {
+		return c.smap.ShardFor(path)
+	}
+	return core.ShardOf(path, c.d.NumShards())
+}
+
+// mintShard recovers the shard that minted a txid — stable across map
+// epochs on a dynamic deployment (the fixed stride), the mod-N interleave
+// otherwise. Keying MRD floors by minting shard is what lets them survive
+// a path changing shards: old data checks against the old shard's floor.
+func (c *Client) mintShard(txid int64) int {
+	if c.smap != nil {
+		return shardmap.ShardOfTxid(txid)
+	}
+	return int(txid % int64(c.d.NumShards()))
+}
+
+// refreshMap reloads the session's map view when a response proves a
+// newer epoch exists.
+func (c *Client) refreshMap(epoch int64) {
+	if c.smap == nil || epoch <= c.smap.Epoch {
+		return
+	}
+	if m := c.d.LoadShardMap(c.ctx); m != nil {
+		c.smap = m
+		c.smapAt = c.d.K.Now()
+	}
+}
+
+// refreshMapTTL re-reads the map once per CacheTTL for sessions whose
+// client cache depends on shared-path classification (see smap).
+func (c *Client) refreshMapTTL() {
+	if c.smap == nil || c.lcache == nil || c.d.K.Now()-c.smapAt <= c.cacheTTL {
+		return
+	}
+	if m := c.d.LoadShardMap(c.ctx); m != nil {
+		c.smap = m
+	}
+	c.smapAt = c.d.K.Now()
+}
+
 func (c *Client) onNotification(n core.Notification) {
 	// Attribute the txid to the shard that issued it. The shard is
 	// recovered from the txid itself (txid = seqNo*N + shard), not from
 	// the notification path: a child watch on "/" fires with the root's
 	// path but a txid minted by the created child's shard.
-	shard := int(n.Txid % int64(c.d.NumShards()))
+	shard := c.mintShard(n.Txid)
 	if n.Txid > c.mrd[shard] {
 		c.mrd[shard] = n.Txid
 	}
@@ -563,11 +644,13 @@ func (c *Client) read(path string, watching bool) (*znode.Node, error) {
 	}
 	// Ordered notifications (Z4): if the node was committed while one of
 	// *our* watches was still being delivered, hold the result until that
-	// notification arrives. Updates older than the owning shard's MRD are
-	// always safe (txids are totally ordered within a shard). Cached
-	// entries carry the epoch stamp the leader attached when it wrote
-	// this exact version, so the guard is identical on every source.
-	if n.Stat.Mzxid >= c.mrd[core.ShardOf(path, c.d.NumShards())] {
+	// notification arrives. Updates older than the minting shard's MRD
+	// are always safe (txids are totally ordered within a shard; the
+	// minting shard is the path's owner at write time, so the comparison
+	// survives live resharding). Cached entries carry the epoch stamp the
+	// leader attached when it wrote this exact version, so the guard is
+	// identical on every source.
+	if n.Stat.Mzxid >= c.mrd[c.mintShard(n.Stat.Mzxid)] {
 		for _, wid := range stamp {
 			entry, mine := c.watches[wid]
 			if !mine || entry.delivered.Done() {
@@ -624,8 +707,9 @@ func (c *Client) fetch(path string, skipL1 bool) (*znode.Node, []int64, error) {
 	if c.rcache == nil {
 		return c.store.Read(c.ctx, path)
 	}
+	c.refreshMapTTL()
 	floor := c.lastSeen[path]
-	if m := c.mrd[core.ShardOf(path, c.d.NumShards())]; m > floor {
+	if m := c.mrd[c.routeOf(path)]; m > floor {
 		floor = m
 	}
 	if c.lcache != nil && !skipL1 && c.l1Cacheable(path) {
@@ -638,6 +722,19 @@ func (c *Client) fetch(path string, skipL1 bool) (*znode.Node, []int64, error) {
 		l1Floor := floor
 		if c.sysFloor > l1Floor {
 			l1Floor = c.sysFloor
+		}
+		if c.smap != nil && c.mrdMax > l1Floor {
+			// Live resharding breaks the static identity between a path's
+			// route and the shard that minted its cached copy: a
+			// notification from the path's former owner raises only that
+			// shard's MRD, which the route-keyed floor above no longer
+			// consults after a migration. Nothing invalidates
+			// session-local copies, so on a dynamic deployment the client
+			// cache floors on the session-wide MRD — any delivered
+			// notification fences every older local entry. (The regional
+			// node needs no such floor: it is push-invalidated before any
+			// superseding write becomes readable, on whichever shard.)
+			l1Floor = c.mrdMax
 		}
 		if e, ok := c.lcache.Get(path); ok && e.Mzxid >= l1Floor &&
 			c.d.K.Now()-e.FilledAt <= c.cacheTTL {
@@ -684,12 +781,16 @@ func (c *Client) fetch(path string, skipL1 bool) (*znode.Node, []int64, error) {
 	return n, stamp, nil
 }
 
-// l1Cacheable reports whether a path may live in the client cache. The
-// shared root of a sharded deployment may not: it is rebuilt by several
-// shard leaders, so two successive contents can share one freshness value
-// and no session-local floor can order them. The regional node handles it
-// safely — every rebuild strictly raises its invalidation floor there.
+// l1Cacheable reports whether a path may live in the client cache. Shared
+// paths — the root of a sharded deployment, the root node of a split
+// subtree — may not: they are rebuilt by several shard leaders, so two
+// successive contents can share one freshness value and no session-local
+// floor can order them. The regional node handles them safely — every
+// rebuild strictly raises its invalidation floor there.
 func (c *Client) l1Cacheable(path string) bool {
+	if c.smap != nil {
+		return !c.smap.Shared(path)
+	}
 	return path != znode.Root || c.d.NumShards() == 1
 }
 

@@ -1,0 +1,123 @@
+package fkclient
+
+// Connect-time cache warm-up (Config.CacheWarmK): a new session prefetches
+// the regional node's hot set into its client cache and seeds its
+// per-path floors, removing the first-read miss that dominates
+// short-lived sessions.
+
+import (
+	"fmt"
+	"testing"
+
+	"faaskeeper/internal/core"
+	"faaskeeper/internal/sim"
+)
+
+// TestWarmupFirstReadHits: after another session heats the regional node,
+// a fresh session with warm-up enabled serves its first read of a hot
+// path from the client cache — and still observes the committed data.
+func TestWarmupFirstReadHits(t *testing.T) {
+	cfg := core.Config{CacheMode: core.CacheTwoLevel, CacheWarmK: 8}
+	run(t, 41, cfg, func(k *sim.Kernel, d *core.Deployment) {
+		writer := mustConnect(t, d, "writer")
+		hot := make([]string, 4)
+		for i := range hot {
+			hot[i] = fmt.Sprintf("/hot%d", i)
+			if _, err := writer.Create(hot[i], []byte(fmt.Sprintf("data%d", i)), 0); err != nil {
+				t.Fatalf("create: %v", err)
+			}
+		}
+		// Heat the regional node: reads fill it (fire-and-forget fills).
+		for _, p := range hot {
+			if _, _, err := writer.GetData(p); err != nil {
+				t.Fatalf("heat %s: %v", p, err)
+			}
+		}
+		k.Sleep(100 * sim.Ms(1)) // let async regional fills land
+
+		fresh := mustConnect(t, d, "fresh")
+		defer fresh.Close()
+		for i, p := range hot {
+			data, _, err := fresh.GetData(p)
+			if err != nil || string(data) != fmt.Sprintf("data%d", i) {
+				t.Fatalf("fresh read %s: %q %v", p, data, err)
+			}
+		}
+		l1, _, misses := fresh.CacheStats()
+		if l1 != int64(len(hot)) {
+			t.Errorf("fresh session: %d client-cache hits, want %d (misses %d)", l1, len(hot), misses)
+		}
+		if misses != 0 {
+			t.Errorf("fresh session paid %d store reads despite warm-up", misses)
+		}
+		writer.Close()
+	})
+}
+
+// TestWarmupRespectsLaterWrites: a warmed entry superseded by a later
+// write must not shadow it — the warmed session's read observes the
+// newer committed value (push invalidation + session floors).
+func TestWarmupRespectsLaterWrites(t *testing.T) {
+	cfg := core.Config{CacheMode: core.CacheTwoLevel, CacheWarmK: 8}
+	run(t, 42, cfg, func(k *sim.Kernel, d *core.Deployment) {
+		writer := mustConnect(t, d, "writer")
+		defer writer.Close()
+		if _, err := writer.Create("/cfg", []byte("old"), 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, _, err := writer.GetData("/cfg"); err != nil {
+			t.Fatalf("heat: %v", err)
+		}
+		k.Sleep(100 * sim.Ms(1))
+
+		fresh := mustConnect(t, d, "fresh")
+		defer fresh.Close()
+		// The overwrite lands after the warm-up; its invalidation fences
+		// the regional entry, and the fresh session's own read must see it.
+		if _, err := writer.SetData("/cfg", []byte("new"), -1); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+		k.Sleep(200 * sim.Ms(1)) // past nothing in particular: TTL is 5s
+		data, _, err := fresh.GetData("/cfg")
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if string(data) != "new" && string(data) != "old" {
+			t.Fatalf("read %q", data)
+		}
+		// ZooKeeper's guarantee is timeliness-bounded: within the TTL a
+		// session that observed nothing newer MAY serve the warmed copy.
+		// But once this session sees the new value anywhere, it can never
+		// go back (Z3).
+		if string(data) == "old" {
+			k.Sleep(d.Cfg.CacheTTL)
+			data, _, err = fresh.GetData("/cfg")
+			if err != nil || string(data) != "new" {
+				t.Fatalf("post-TTL read: %q %v", data, err)
+			}
+		}
+		d2, _, err := fresh.GetData("/cfg")
+		if err != nil || string(d2) != "new" {
+			t.Fatalf("monotonic re-read: %q %v", d2, err)
+		}
+	})
+}
+
+// TestWarmupOffByDefault: without CacheWarmK the first read misses, as in
+// the paper's cold-connect behavior.
+func TestWarmupOffByDefault(t *testing.T) {
+	cfg := core.Config{CacheMode: core.CacheTwoLevel}
+	run(t, 43, cfg, func(k *sim.Kernel, d *core.Deployment) {
+		writer := mustConnect(t, d, "writer")
+		defer writer.Close()
+		writer.Create("/p", []byte("x"), 0)
+		writer.GetData("/p")
+		k.Sleep(100 * sim.Ms(1))
+		fresh := mustConnect(t, d, "fresh")
+		defer fresh.Close()
+		fresh.GetData("/p")
+		if l1, _, _ := fresh.CacheStats(); l1 != 0 {
+			t.Errorf("cold connect served %d client-cache hits on first read", l1)
+		}
+	})
+}

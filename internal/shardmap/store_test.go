@@ -1,0 +1,66 @@
+package shardmap
+
+import (
+	"testing"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/sim"
+)
+
+// TestStoreRoundTrip: the durable store preserves the whole map through a
+// write/load cycle and mirrors the per-shard generations into attributes
+// the commit guard can condition on.
+func TestStoreRoundTrip(t *testing.T) {
+	k := sim.NewKernel(7)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	tbl := kv.NewTable(env, "system")
+	s := NewStore(tbl)
+	ctx := cloud.ClientCtx(env.Profile.Home)
+
+	k.Go("test", func() {
+		m := New(2)
+		s.Seed(m)
+		got, err := s.Load(ctx)
+		if err != nil || got.Base != 2 || got.Queues != 2 || got.Epoch != 0 {
+			t.Errorf("seed round trip: %+v %v", got, err)
+			return
+		}
+		next, _ := m.PlanSplit("/hot", 2)
+		gated := m.Gate(next.Mig)
+		if err := s.Write(ctx, gated); err != nil {
+			t.Errorf("write gated: %v", err)
+			return
+		}
+		got, err = s.Load(ctx)
+		if err != nil || got.Mig == nil || got.GenOf(next.Mig.Sources[0]) != 1 {
+			t.Errorf("gated round trip: %+v %v", got, err)
+			return
+		}
+		// The mirrored generation attribute guards conditional commits.
+		it, _ := tbl.Peek(s.Key())
+		src := next.Mig.Sources[0]
+		if !GenCond(src, 1).Eval(it, true) {
+			t.Error("current generation must satisfy its own guard")
+		}
+		if GenCond(src, 0).Eval(it, true) {
+			t.Error("superseded generation must fail the guard")
+		}
+		flip := next.Clone()
+		flip.Gens = gated.Clone().Gens
+		final := flip.Flip(1000 * Stride)
+		if err := s.Write(ctx, final); err != nil {
+			t.Errorf("write flip: %v", err)
+			return
+		}
+		got, err = s.Load(ctx)
+		if err != nil || got.Epoch != 1 || got.Mig != nil || len(got.Splits) != 1 {
+			t.Errorf("flip round trip: %+v %v", got, err)
+		}
+		if _, err := NewStore(kv.NewTable(env, "empty")).Load(ctx); err == nil {
+			t.Error("loading a missing map must fail")
+		}
+	})
+	k.Run()
+	k.Shutdown()
+}

@@ -77,6 +77,40 @@ type Record struct {
 type Store struct {
 	tbl *kv.Table
 	k   *sim.Kernel
+
+	// trackLive maintains an atomic counter of records between Begin and
+	// Delete. Off by default (zero cost for deployments that never ask);
+	// the dynamic-sharding reshard engine enables it to quiesce in-flight
+	// transactions before draining source shards.
+	trackLive bool
+}
+
+// liveKey / attrLive hold the live-record counter item.
+const (
+	liveKey  = "txnlive"
+	attrLive = "n"
+)
+
+// TrackLive toggles live-record counting (set once at deployment time,
+// before any transaction runs).
+func (s *Store) TrackLive(on bool) { s.trackLive = on }
+
+// Live returns the number of records currently between Begin and Delete
+// (0 when tracking is off — callers must only rely on it with tracking
+// enabled).
+func (s *Store) Live(ctx cloud.Ctx) int64 {
+	it, ok := s.tbl.Get(ctx, liveKey, true)
+	if !ok {
+		return 0
+	}
+	return it[attrLive].Num
+}
+
+func (s *Store) bumpLive(ctx cloud.Ctx, delta int64) {
+	if !s.trackLive {
+		return
+	}
+	_, _ = s.tbl.Update(ctx, liveKey, []kv.Update{kv.Add{Name: attrLive, Delta: delta}}, nil)
 }
 
 // NewStore binds a record store to the deployment's system table.
@@ -107,6 +141,7 @@ func (s *Store) Begin(ctx cloud.Ctx, id int64, session string, seq int64, ops []
 	}, nil); err != nil {
 		return err
 	}
+	s.bumpLive(ctx, 1)
 	return s.tbl.Put(ctx, reqKey(session, seq), kv.Item{attrID: kv.N(id)}, nil)
 }
 
@@ -237,6 +272,17 @@ func (s *Store) Ready(ctx cloud.Ctx, id int64, shard int) (int, error) {
 
 // Delete garbage collects a finished record and its request pointer.
 func (s *Store) Delete(ctx cloud.Ctx, id int64, session string, seq int64) {
+	if s.trackLive {
+		// Decrement only when the record still exists: Delete is called
+		// from multiple recovery paths and must stay idempotent.
+		if err := s.tbl.Delete(ctx, recordKey(id), kv.Exists{}); err != nil {
+			_ = s.tbl.Delete(ctx, reqKey(session, seq), nil)
+			return
+		}
+		s.bumpLive(ctx, -1)
+		_ = s.tbl.Delete(ctx, reqKey(session, seq), nil)
+		return
+	}
 	_ = s.tbl.Delete(ctx, recordKey(id), nil)
 	_ = s.tbl.Delete(ctx, reqKey(session, seq), nil)
 }
