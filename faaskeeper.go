@@ -209,6 +209,12 @@ type DeploymentOptions struct {
 	// only), removing the first-read miss penalty of short-lived
 	// sessions. Default 0 — cold connects, as in the paper.
 	CacheWarmK int
+	// WireCodec selects the hot-path message serialization: "gob"
+	// (default, paper-faithful — byte-identical golden trace) or
+	// "binary" (the zero-copy varint codec of internal/wire: pooled
+	// encode buffers, reflection-free decoding, and the client's
+	// cached-read decode memo). Same protocol semantics either way.
+	WireCodec string
 }
 
 // AutoShard is the shard auto-scaling policy (DeploymentOptions.AutoShard).
@@ -244,6 +250,7 @@ func (s *Simulation) DeployFaaSKeeper(opts DeploymentOptions) *Deployment {
 		DynamicShards:        opts.DynamicShards,
 		AutoShard:            opts.AutoShard,
 		CacheWarmK:           opts.CacheWarmK,
+		WireCodec:            opts.WireCodec,
 	}
 	if opts.ARM {
 		cfg.Arch = faas.ARM

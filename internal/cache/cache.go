@@ -5,6 +5,7 @@ import (
 
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/sim"
+	"faaskeeper/internal/wire"
 )
 
 // Invalidation is the record the leader publishes to the regional cache on
@@ -67,6 +68,7 @@ type Regional struct {
 	floorCap    int
 	globalFloor int64
 	stats       Stats
+	codec       wire.Codec // invalidation size model (zero value = gob)
 }
 
 // defaultFloorCap keeps the watermark map far above any working set the
@@ -184,7 +186,7 @@ func (r *Regional) Fill(ctx cloud.Ctx, path string, blob []byte, mzxid int64) bo
 // higher-txid change, never serves a superseded child list.
 func (r *Regional) Invalidate(ctx cloud.Ctx, inv Invalidation) {
 	p := r.env.Profile
-	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, invSize(inv))
+	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, r.invSizeOf(inv))
 	r.env.Meter.Charge("cache.write", 0, 1)
 	r.apply(inv)
 }
@@ -201,7 +203,7 @@ func (r *Regional) InvalidateBatch(ctx cloud.Ctx, invs []Invalidation) {
 	p := r.env.Profile
 	size := 0
 	for _, inv := range invs {
-		size += invSize(inv)
+		size += r.invSizeOf(inv)
 	}
 	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, size)
 	r.env.Meter.Charge("cache.write", 0, 1)

@@ -178,6 +178,39 @@ func (t *Table) Get(ctx cloud.Ctx, key string, consistent bool) (Item, bool) {
 	return r.cur.Clone(), true
 }
 
+// GetView is Get without the defensive deep copy: the returned item is a
+// READ-ONLY view of table storage, valid until the caller's next yield
+// point at the latest (a concurrent writer may commit a replacement; the
+// view itself is never mutated in place — commits swap whole items).
+// Callers must not modify the item or any slice it holds, and must copy
+// whatever they retain or mutate. Hot read paths use it to skip cloning
+// entire items — the paper's znode items carry the full node blob, so the
+// clone dominated read-side allocation.
+func (t *Table) GetView(ctx cloud.Ctx, key string, consistent bool) (Item, bool) {
+	r := t.items[key]
+	size := 0
+	if r != nil {
+		size = r.cur.Size()
+	}
+	t.env.K.Sleep(t.readLatency(ctx, size))
+	t.env.Meter.Charge(t.costCat+".read", t.profile().Pricing.KVReadCost(max(size, 1), consistent), 1)
+	r = t.items[key] // re-fetch: state may have changed while we slept
+	if r == nil {
+		return nil, false
+	}
+	if !consistent && r.prev != nil {
+		lag := t.profile().KVReplicaLag
+		age := t.env.K.Now() - r.writtenAt
+		if age < lag {
+			pStale := 1 - float64(age)/float64(lag)
+			if t.env.K.Rand().Float64() < pStale {
+				return r.prev, true
+			}
+		}
+	}
+	return r.cur, true
+}
+
 // Put stores item under key if cond (when non-nil) holds.
 func (t *Table) Put(ctx cloud.Ctx, key string, item Item, cond Cond) error {
 	size := item.Size()

@@ -53,8 +53,12 @@ func (b *Bucket) Put(ctx cloud.Ctx, key string, data []byte) {
 	b.objects[key] = append([]byte(nil), data...)
 }
 
-// Get returns a copy of the object. Reads are strongly consistent: a
-// successful write is immediately visible (Section 2.1).
+// Get returns a read-only view of the object. Reads are strongly
+// consistent: a successful write is immediately visible (Section 2.1).
+// Put already copies on the way in and overwrites are whole-object
+// replacements (never in-place), so one defensive copy per crossing
+// suffices: the returned slice is immutable for its lifetime and callers
+// that mutate must copy first.
 func (b *Bucket) Get(ctx cloud.Ctx, key string) ([]byte, error) {
 	data, ok := b.objects[key]
 	p := b.env.Profile
@@ -64,7 +68,7 @@ func (b *Bucket) Get(ctx cloud.Ctx, key string) ([]byte, error) {
 	if !ok {
 		return nil, ErrNoSuchKey
 	}
-	return append([]byte(nil), data...), nil
+	return data, nil
 }
 
 // Delete removes the object; deleting a missing key is a no-op, as in S3.

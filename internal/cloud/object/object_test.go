@@ -14,15 +14,16 @@ func TestPutGetDelete(t *testing.T) {
 	b := NewBucket(env, "user-data", cloud.RegionAWSHome)
 	ctx := cloud.ClientCtx(cloud.RegionAWSHome)
 	k.Go("client", func() {
-		b.Put(ctx, "a", []byte("hello"))
+		buf := []byte("hello")
+		b.Put(ctx, "a", buf)
+		buf[0] = 'X' // Put copies on the way in: caller may reuse its buffer
 		got, err := b.Get(ctx, "a")
 		if err != nil || string(got) != "hello" {
 			t.Errorf("get: %q %v", got, err)
 		}
-		got[0] = 'X' // must not alias the stored copy
 		got2, _ := b.Get(ctx, "a")
 		if string(got2) != "hello" {
-			t.Error("stored object aliased")
+			t.Error("stored object aliased caller buffer")
 		}
 		b.Delete(ctx, "a")
 		if _, err := b.Get(ctx, "a"); !errors.Is(err, ErrNoSuchKey) {
@@ -40,6 +41,38 @@ func TestPutGetDelete(t *testing.T) {
 	if ratio := w / r; ratio < 12 || ratio > 13 {
 		t.Fatalf("write/read cost ratio = %v", ratio)
 	}
+}
+
+// TestMutationAliasing pins the single-copy contract after removing the
+// historical double copy (Put and Get each re-copied the payload). Put is
+// the one defensive copy per crossing: the caller's buffer never aliases
+// the store. Get returns a read-only view, and because overwrites replace
+// the whole object rather than mutating in place, a view obtained before
+// an overwrite still reads the old bytes.
+func TestMutationAliasing(t *testing.T) {
+	k := sim.NewKernel(5)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	b := NewBucket(env, "user-data", cloud.RegionAWSHome)
+	ctx := cloud.ClientCtx(cloud.RegionAWSHome)
+	k.Go("client", func() {
+		buf := []byte("first")
+		b.Put(ctx, "k", buf)
+		copy(buf, "XXXXX") // caller scribbles over its buffer after Put
+		got, err := b.Get(ctx, "k")
+		if err != nil || string(got) != "first" {
+			t.Errorf("stored object aliased caller buffer: %q %v", got, err)
+		}
+		view := got
+		b.Put(ctx, "k", []byte("second"))
+		if string(view) != "first" {
+			t.Errorf("overwrite mutated a prior view in place: %q", view)
+		}
+		got2, err := b.Get(ctx, "k")
+		if err != nil || string(got2) != "second" {
+			t.Errorf("after overwrite: %q %v", got2, err)
+		}
+	})
+	k.Run()
 }
 
 func TestCrossRegionPenalty(t *testing.T) {

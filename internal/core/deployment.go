@@ -15,6 +15,7 @@ import (
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/stats"
 	"faaskeeper/internal/txn"
+	"faaskeeper/internal/wire"
 	"faaskeeper/internal/znode"
 )
 
@@ -150,12 +151,24 @@ type Config struct {
 	// path is already a hit. Default 0 — cold connects, as in the paper.
 	CacheWarmK int
 
+	// WireCodec selects the serialization of the hot message types
+	// (session-queue requests, leader messages, transaction payloads,
+	// watch invocations, the shard map): "gob" (default) is the
+	// paper-faithful encoding whose message sizes the golden trace is
+	// pinned to; "binary" is the hand-rolled zero-copy codec of package
+	// wire — same semantics, compact varint framing, pooled encode
+	// buffers, reflection-free decoding.
+	WireCodec string
+
 	// CollectPhases enables per-phase latency sampling (Figures 9-12,
 	// Table 3).
 	CollectPhases bool
 
 	// Faults injects failures for resilience tests.
 	Faults Faults
+
+	// codec is WireCodec parsed by defaults(); zero value = gob.
+	codec wire.Codec
 }
 
 // AutoShard configures shard auto-scaling (Config.AutoShard): the policy
@@ -273,6 +286,13 @@ func (c *Config) defaults() {
 	if c.CacheTTL <= 0 {
 		c.CacheTTL = 5 * time.Second
 	}
+	codec, err := wire.Parse(c.WireCodec)
+	if err != nil {
+		// A typo must not silently deploy the slow path as if it were
+		// the requested fast one (or vice versa).
+		panic("core: " + err.Error())
+	}
+	c.codec = codec
 }
 
 // Deployment is one running FaaSKeeper instance: storage, queues,
@@ -355,12 +375,15 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 	d.System.SetCostCategory("syskv")
 	d.Locks = fksync.NewLockManager(env, d.System, cfg.LockLease)
 	d.Txns = txn.NewStore(d.System, k)
+	d.Txns.SetWireCodec(cfg.codec)
 
 	regions := append([]cloud.Region{cfg.Profile.Home}, cfg.ExtraRegions...)
 	for _, r := range regions {
 		d.Stores = append(d.Stores, d.newUserStore(r))
 		if cfg.CacheMode != CacheOff {
-			d.Caches = append(d.Caches, cache.NewRegional(env, r, cfg.CacheCapacityB))
+			rc := cache.NewRegional(env, r, cfg.CacheCapacityB)
+			rc.SetWireCodec(cfg.codec)
+			d.Caches = append(d.Caches, rc)
 		}
 	}
 
@@ -371,6 +394,7 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 
 	if cfg.DynamicShards {
 		d.dyn = &dynShards{store: shardmap.NewStore(d.System), hot: map[string]int64{}}
+		d.dyn.store.SetWireCodec(cfg.codec)
 		seedMap := shardmap.New(cfg.WriteShards)
 		d.dyn.store.Seed(seedMap)
 		d.dyn.cur = seedMap
@@ -614,6 +638,10 @@ func watchAttr(wt WatchType) string {
 // partitioned into (1 in the paper's base configuration).
 func (d *Deployment) NumShards() int { return len(d.LeaderQs) }
 
+// WireCodec reports the deployment's message codec (Config.WireCodec
+// parsed); the client library encodes its requests with the same one.
+func (d *Deployment) WireCodec() wire.Codec { return d.Cfg.codec }
+
 // Epoch returns the in-flight watch ids for a region, aggregated over all
 // write shards (strongly consistent system-store reads; exposed for tests
 // and the client library). The error is always nil, kept for API
@@ -629,9 +657,12 @@ func (d *Deployment) Epoch(ctx cloud.Ctx, region cloud.Region) ([]int64, error) 
 // epochShard reads one shard's epoch counter for a region (a missing item
 // means no in-flight watches).
 func (d *Deployment) epochShard(ctx cloud.Ctx, region cloud.Region, shard int) []int64 {
-	it, ok := d.System.Get(ctx, epochKey(region, shard), true)
+	it, ok := d.System.GetView(ctx, epochKey(region, shard), true)
 	if !ok {
 		return nil
 	}
-	return it[attrEpochList].NL
+	// The item is a read-only view; callers append to the returned slice
+	// (appendEpochs), so the list itself must be a private copy. Copying
+	// just the epoch list skips cloning the whole item.
+	return append([]int64(nil), it[attrEpochList].NL...)
 }

@@ -32,6 +32,7 @@ package core
 
 import (
 	"slices"
+	"sync"
 
 	"faaskeeper/internal/cache"
 	"faaskeeper/internal/cloud"
@@ -79,8 +80,45 @@ type batchFold struct {
 	parents     map[string]*parentFold
 }
 
-func newBatchFold() *batchFold {
+// batchFoldPool recycles the per-flush fold's maps and slices: every
+// queue batch allocates one, and the bucket arrays dominate its cost.
+var batchFoldPool = sync.Pool{New: func() any {
 	return &batchFold{nodes: map[string]*nodeFold{}, parents: map[string]*parentFold{}}
+}}
+
+func newBatchFold() *batchFold { return batchFoldPool.Get().(*batchFold) }
+
+// release returns the fold to the pool. Callers invoke it only once the
+// flush holds no further references — after distributeFold's regional
+// goroutines have all joined and any post-distribution lookups
+// (transaction pending pops) are done. The entry structs are dropped,
+// not recycled: node pointers were handed to the stores.
+func (f *batchFold) release() {
+	clear(f.nodes)
+	clear(f.parents)
+	f.order = f.order[:0]
+	f.parentOrder = f.parentOrder[:0]
+	batchFoldPool.Put(f)
+}
+
+// invSlicePool recycles the per-region invalidation record assembled on
+// every batch flush; InvalidateBatch does not retain the slice (apply
+// copies the epoch stamp it keeps).
+var invSlicePool = sync.Pool{New: func() any { return new([]cache.Invalidation) }}
+
+// parentFoldPool recycles the scratch fold the per-message pipeline's
+// parent read-modify-write builds for every create/delete (spliceInto
+// does not retain it). Folds owned by a batchFold are NOT pooled — they
+// are dropped wholesale by batchFold.release.
+var parentFoldPool = sync.Pool{New: func() any { return &parentFold{present: map[string]bool{}} }}
+
+func newParentFold() *parentFold { return parentFoldPool.Get().(*parentFold) }
+
+func (pf *parentFold) release() {
+	clear(pf.present)
+	pf.names = pf.names[:0]
+	pf.cversion, pf.pzxid, pf.consumed = 0, 0, false
+	parentFoldPool.Put(pf)
 }
 
 // foldWrite records path's newest object; an earlier write or tombstone
@@ -177,7 +215,7 @@ func (d *Deployment) leaderProcessBatched(ctx cloud.Ctx, msgs []decodedMsg, epoc
 			// transaction's commit still needs. The transaction itself
 			// never decrements — at worst a tombstone lingers until the
 			// next delete's collection, the lock-guard precedent.
-			if tm, err := decodeTxnMsg(dm.msg.NodeBlob); err == nil {
+			if tm, err := decodeTxnMsgWith(d.Cfg.codec, dm.msg.NodeBlob); err == nil {
 				for _, p := range txnTargets(tm.Ops) {
 					later[p]++
 				}
@@ -240,6 +278,7 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 	t0 := d.K.Now()
 	d.distributeFold(ctx, fold, epochs, false)
 	d.recordPhase("leader.update", d.K.Now()-t0)
+	fold.release()
 
 	var completions []watchCompletion
 	for _, r := range results {
@@ -259,7 +298,7 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 			payload := watchPayload{
 				WatchID: fw.wid, Event: fw.event, Path: fw.path, Txid: r.txid, Sessions: fw.sessions,
 			}
-			fut := d.Platform.InvokeAsync(ctx, FnWatch, payload.encode())
+			fut := d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload))
 			completions = append(completions, watchCompletion{wid: fw.wid, fut: fut})
 		}
 		tn := d.K.Now()
@@ -409,7 +448,11 @@ func (d *Deployment) distributeFold(ctx cloud.Ctx, fold *batchFold, epochs map[c
 			// One coalesced record per touched path, published before any
 			// of the batch's writes become readable in this region.
 			if rc := d.CacheFor(s.Region()); rc != nil {
-				rc.InvalidateBatch(ctx, fold.invalidations(sharedPFs, stamp, d.cacheMapEpoch()))
+				sp := invSlicePool.Get().(*[]cache.Invalidation)
+				invs := fold.appendInvalidations((*sp)[:0], sharedPFs, stamp, d.cacheMapEpoch())
+				rc.InvalidateBatch(ctx, invs)
+				*sp = invs[:0]
+				invSlicePool.Put(sp)
 			}
 			if aa, atomic := s.(AtomicApplier); atomicApply && atomic {
 				writes := make([]BatchWrite, 0, len(fold.order))
@@ -461,12 +504,12 @@ func (d *Deployment) distributeFold(ctx cloud.Ctx, fold *batchFold, epochs map[c
 	}
 }
 
-// invalidations assembles the batch's coalesced multi-path invalidation
-// record for one region: each touched path once, at its newest folded
-// txid. Shared parents' splices (flushed after the regional writes) are
-// included so their floors are raised before their RMWs land too.
-func (f *batchFold) invalidations(shared map[string]*parentFold, stamp []int64, mapEpoch int64) []cache.Invalidation {
-	invs := make([]cache.Invalidation, 0, len(f.order)+len(f.parentOrder))
+// appendInvalidations assembles the batch's coalesced multi-path
+// invalidation record for one region into invs (pooled scratch): each
+// touched path once, at its newest folded txid. Shared parents' splices
+// (flushed after the regional writes) are included so their floors are
+// raised before their RMWs land too.
+func (f *batchFold) appendInvalidations(invs []cache.Invalidation, shared map[string]*parentFold, stamp []int64, mapEpoch int64) []cache.Invalidation {
 	for _, p := range f.order {
 		invs = append(invs, cache.Invalidation{Path: p, Mzxid: f.nodes[p].txid, Epoch: stamp, MapEpoch: mapEpoch})
 	}

@@ -103,7 +103,7 @@ func TestBatchFoldInvalidations(t *testing.T) {
 	}
 
 	stamp := []int64{11}
-	invs := f.invalidations(nil, stamp, 0)
+	invs := f.appendInvalidations(nil, nil, stamp, 0)
 	got := map[string]int64{}
 	for _, inv := range invs {
 		if _, dup := got[inv.Path]; dup {

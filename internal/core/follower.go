@@ -10,6 +10,7 @@ import (
 	"faaskeeper/internal/cloud/queue"
 	"faaskeeper/internal/fksync"
 	"faaskeeper/internal/shardmap"
+	"faaskeeper/internal/wire"
 	"faaskeeper/internal/znode"
 )
 
@@ -23,7 +24,7 @@ var errInjectedCrash = errors.New("core: injected follower crash")
 // the lock release (④).
 func (d *Deployment) followerHandler(inv *faas.Invocation) error {
 	for _, m := range inv.Messages {
-		req, err := DecodeRequest(m.Body)
+		req, err := decodeRequestWith(d.Cfg.codec, m.Body)
 		if err != nil {
 			continue // malformed message: drop, never poison the queue
 		}
@@ -523,7 +524,9 @@ func (d *Deployment) pushToLeader(ctx cloud.Ctx, msg leaderMsg) (routed, error) 
 // pushToShard sends the message to the shard already set on it.
 func (d *Deployment) pushToShard(ctx cloud.Ctx, msg leaderMsg) (routed, error) {
 	t0 := d.K.Now()
-	seqNo, err := d.LeaderQs[msg.Shard].Send(ctx, msg.Session, msg.encode())
+	e := wire.NewEncoder()
+	seqNo, err := d.LeaderQs[msg.Shard].Send(ctx, msg.Session, msg.encodeWith(d.Cfg.codec, e))
+	e.Release()
 	d.recordPhase("follower.push", d.K.Now()-t0)
 	if errors.Is(err, queue.ErrTooLarge) {
 		return routed{shard: msg.Shard, gen: dynGen(msg)}, errMsgTooLarge

@@ -38,7 +38,7 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 	shard := 0
 	acksOnly := true
 	for _, m := range inv.Messages {
-		msg, err := decodeLeaderMsg(m.Body)
+		msg, err := decodeLeaderMsgWith(d.Cfg.codec, m.Body)
 		if err != nil {
 			continue
 		}
@@ -134,7 +134,7 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 
 func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epochs map[cloud.Region][]int64) []watchCompletion {
 	if msg.Op == OpMulti || msg.Op == OpTxnCommit {
-		tm, err := decodeTxnMsg(msg.NodeBlob)
+		tm, err := decodeTxnMsgWith(d.Cfg.codec, msg.NodeBlob)
 		if err != nil {
 			return nil
 		}
@@ -208,7 +208,7 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 		payload := watchPayload{
 			WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions,
 		}
-		fut := d.Platform.InvokeAsync(ctx, FnWatch, payload.encode())
+		fut := d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload))
 		comps = append(comps, watchCompletion{wid: f.wid, fut: fut})
 	}
 
@@ -298,7 +298,7 @@ func (d *Deployment) awaitCommit(ctx cloud.Ctx, msg leaderMsg, txid int64) (sysN
 	const attempts = 10
 	triedCommit := false
 	for attempt := 0; attempt < attempts; attempt++ {
-		it, ok := d.System.Get(ctx, nodeKey(msg.Path), true)
+		it, ok := d.System.GetView(ctx, nodeKey(msg.Path), true)
 		if ok {
 			node := decodeSysNode(it)
 			if len(node.Pending) > 0 {
@@ -492,7 +492,8 @@ func (d *Deployment) applyParentRMW(ctx cloud.Ctx, s UserStore, msg leaderMsg, t
 	if err != nil {
 		return
 	}
-	pf := &parentFold{present: map[string]bool{}}
+	pf := newParentFold()
+	defer pf.release()
 	if msg.ChildAdd != "" {
 		pf.names = append(pf.names, msg.ChildAdd)
 		pf.present[msg.ChildAdd] = true
@@ -622,7 +623,7 @@ func (d *Deployment) queryWatches(ctx cloud.Ctx, msg leaderMsg) []firedWatch {
 		wt    WatchType
 		event EventType
 	}) {
-		it, ok := d.System.Get(ctx, watchKey(path), true)
+		it, ok := d.System.GetView(ctx, watchKey(path), true)
 		if !ok {
 			return
 		}

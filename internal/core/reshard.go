@@ -51,6 +51,7 @@ import (
 	"faaskeeper/internal/fksync"
 	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
+	"faaskeeper/internal/wire"
 )
 
 // Reshard errors.
@@ -244,7 +245,10 @@ func (d *Deployment) reshard(plan func(*shardmap.Map) (*shardmap.Map, error)) er
 	fenceID := it[attrReshardSeq].Num
 	for _, s := range mig.Sources {
 		fence := leaderMsg{Op: OpReshardFence, Shard: s, DeregID: fenceID}
-		if _, err := d.LeaderQs[s].Send(ctx, "reshard", fence.encode()); err != nil {
+		e := wire.NewEncoder()
+		_, err := d.LeaderQs[s].Send(ctx, "reshard", fence.encodeWith(d.Cfg.codec, e))
+		e.Release()
+		if err != nil {
 			return abort(err)
 		}
 	}

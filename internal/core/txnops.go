@@ -697,7 +697,7 @@ func (d *Deployment) buildTxnFold(ctx cloud.Ctx, resolved []txn.ResolvedOp, txid
 // redelivered in-flight transaction from its durable record, then run the
 // single-shard fast path or the cross-shard two-phase commit.
 func (d *Deployment) followerMulti(ctx cloud.Ctx, req Request) error {
-	reqOps, err := txn.DecodeOps(req.Data)
+	reqOps, err := txn.DecodeOpsWith(d.Cfg.codec, req.Data)
 	if !d.Cfg.EnableTxn || err != nil || len(reqOps) == 0 {
 		d.respondFailure(req, CodeSystemError)
 		return nil
@@ -774,7 +774,8 @@ func (d *Deployment) multiFastPath(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 	if len(shards) == 0 {
 		// Checks only: the locks proved every guard at one instant.
 		plan.unlock(d, ctx)
-		_, results := d.buildTxnFold(ctx, plan.resolved, func(int) int64 { return 0 }, map[string]sysNode{})
+		fold, results := d.buildTxnFold(ctx, plan.resolved, func(int) int64 { return 0 }, map[string]sysNode{})
+		fold.release()
 		d.notifyMulti(req, results, nil)
 		return nil
 	}
@@ -791,7 +792,7 @@ func (d *Deployment) multiFastPath(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 	msg := leaderMsg{
 		Session: req.Session, Seq: req.Seq, Op: OpMulti, Shard: shard,
 		Path:     anchorPath(plan.resolved, shard),
-		NodeBlob: txnMsg{Ops: plan.resolved, ItemPaths: plan.order, LockTs: plan.lockTs()}.encode(),
+		NodeBlob: d.encodeTxnMsgOwned(txnMsg{Ops: plan.resolved, ItemPaths: plan.order, LockTs: plan.lockTs()}),
 	}
 	if plan.mv != nil {
 		// Route with the plan's snapshot, not the live view: the commit
@@ -950,7 +951,7 @@ func (d *Deployment) txnCommitDrive(ctx cloud.Ctx, req Request, id int64, resolv
 		msg := leaderMsg{
 			Session: req.Session, Seq: req.Seq, Op: OpTxnCommit, Shard: s,
 			Path:     anchorPath(resolved, s),
-			NodeBlob: txnMsg{ID: id, Ops: resolvedOfShard(resolved, s)}.encode(),
+			NodeBlob: d.encodeTxnMsgOwned(txnMsg{ID: id, Ops: resolvedOfShard(resolved, s)}),
 		}
 		if d.dyn != nil {
 			// Stamp the txid base so the shard's leader derives the same
@@ -1060,6 +1061,7 @@ func (d *Deployment) applyTxn(ctx cloud.Ctx, resolved []txn.ResolvedOp, commits 
 	}
 	fold, results := d.buildTxnFold(ctx, resolved, func(s int) int64 { return commits[s] }, map[string]sysNode{})
 	d.distributeFold(ctx, fold, epochs, true)
+	fold.release()
 	d.recordPhase("txn.apply", d.K.Now()-t0)
 	return results
 }
@@ -1094,8 +1096,9 @@ func (d *Deployment) resumeTxn(ctx cloud.Ctx, req Request, reqOps []txn.Op, id i
 		return true, d.txnCommitDrive(ctx, req, id, rec.Resolved, &rec, true)
 	case txn.StatusApplied:
 		// Died between the apply and the answer: rebuild the results.
-		_, results := d.buildTxnFold(ctx, rec.Resolved,
+		fold, results := d.buildTxnFold(ctx, rec.Resolved,
 			func(s int) int64 { return rec.Commits[s] }, map[string]sysNode{})
+		fold.release()
 		d.clearTxnMarks(ctx, id, allItemPaths(rec.Resolved))
 		d.applyEphRecords(ctx, rec.Resolved)
 		d.notifyMulti(req, results, rec.Commits)
@@ -1231,7 +1234,7 @@ func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg,
 	var comps []watchCompletion
 	for _, f := range fired {
 		payload := watchPayload{WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions}
-		fut := d.Platform.InvokeAsync(ctx, FnWatch, payload.encode())
+		fut := d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload))
 		comps = append(comps, watchCompletion{wid: f.wid, fut: fut})
 	}
 
@@ -1245,6 +1248,7 @@ func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg,
 		}
 		d.popPending(ctx, leaderMsg{Op: op, Path: p}, txid, true)
 	}
+	fold.release()
 	resp := Response{
 		Session: msg.Session, Seq: msg.Seq, Code: CodeOK, Path: msg.Path,
 		Txid: txid, MultiResults: results,
@@ -1326,7 +1330,7 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 			wids := make([]int64, 0, len(fired))
 			for _, f := range fired {
 				payload := watchPayload{WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions}
-				futs = append(futs, d.Platform.InvokeAsync(ctx, FnWatch, payload.encode()))
+				futs = append(futs, d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload)))
 				wids = append(wids, f.wid)
 			}
 			for _, fut := range futs {

@@ -120,7 +120,9 @@ func (s *kvStore) Write(ctx cloud.Ctx, n *znode.Node, epoch []int64) error {
 }
 
 func (s *kvStore) Read(ctx cloud.Ctx, path string) (*znode.Node, []int64, error) {
-	it, ok := s.tbl.Get(ctx, path, true)
+	// A read-only view suffices: Unmarshal copies everything it keeps,
+	// so nothing of table storage escapes (skips cloning the node blob).
+	it, ok := s.tbl.GetView(ctx, path, true)
 	if !ok {
 		return nil, nil, ErrUserNoNode
 	}
@@ -208,7 +210,7 @@ func (s *hybridStore) Write(ctx cloud.Ctx, n *znode.Node, epoch []int64) error {
 }
 
 func (s *hybridStore) Read(ctx cloud.Ctx, path string) (*znode.Node, []int64, error) {
-	it, ok := s.tbl.Get(ctx, path, true)
+	it, ok := s.tbl.GetView(ctx, path, true)
 	if !ok {
 		return nil, nil, ErrUserNoNode
 	}
@@ -221,7 +223,9 @@ func (s *hybridStore) Read(ctx cloud.Ctx, path string) (*znode.Node, []int64, er
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: hybrid spill read: %w", err)
 		}
-		n.Data = data
+		// Bucket.Get returns a read-only view of bucket storage; the node
+		// hands Data to the application (GetDataW), so copy here.
+		n.Data = append([]byte(nil), data...)
 	}
 	n.Stat.DataLength = int32(len(n.Data))
 	return n, epoch, nil

@@ -4,6 +4,7 @@ import (
 	"faaskeeper/internal/cloud/faas"
 	"faaskeeper/internal/cloud/queue"
 	"faaskeeper/internal/sim"
+	"faaskeeper/internal/wire"
 )
 
 // heartbeatPrepBase is the per-client probe preparation cost inside the
@@ -16,7 +17,7 @@ var heartbeatPrepBase = sim.Q(0.3, 1.2, 2.5, 4.0, 10)
 // lets the leader's epoch bookkeeping treat the invocation's completion as
 // "notification delivered".
 func (d *Deployment) watchHandler(inv *faas.Invocation) error {
-	p, err := decodeWatchPayload(inv.Payload)
+	p, err := decodeWatchPayloadWith(d.Cfg.codec, inv.Payload)
 	if err != nil {
 		return err
 	}
@@ -118,5 +119,7 @@ func (d *Deployment) evictSession(inv *faas.Invocation, session string) {
 		return
 	}
 	req := Request{Session: session, Op: OpDeregister, Version: -1}
-	_, _ = q.Send(inv.Ctx, session, req.Encode())
+	e := wire.NewEncoder()
+	_, _ = q.Send(inv.Ctx, session, req.EncodeWith(d.Cfg.codec, e))
+	e.Release()
 }

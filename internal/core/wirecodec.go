@@ -1,0 +1,210 @@
+package core
+
+// Binary wire codecs for the pipeline's hot message types (package wire).
+// The gob codecs in types.go stay the paper-faithful default — the golden
+// virtual-time trace depends on gob's message sizes — and every decode is
+// codec-directed by Config.WireCodec, never sniffed. Byte-slice fields
+// (Request.Data, leaderMsg.NodeBlob, resolved-op Data) decode as
+// zero-copy views into the queue message body, which the receiving
+// handler owns; everything the pipeline retains beyond the handler
+// (store items, marshaled znodes) is copied by the storage layer.
+
+import (
+	"fmt"
+
+	"faaskeeper/internal/txn"
+	"faaskeeper/internal/wire"
+	"faaskeeper/internal/znode"
+)
+
+// Format tags distinguish the message families sharing a queue.
+const (
+	tagRequest   byte = 0xB1
+	tagLeaderMsg byte = 0xB2
+	tagTxnMsg    byte = 0xB3
+	tagWatch     byte = 0xB4
+)
+
+// EncodeWith serializes the request with the chosen codec (exported: the
+// client library encodes its own requests). Under binary the returned
+// slice aliases e's pooled buffer: consume (queue.Send copies) before
+// e.Release, or e.Detach to keep it.
+func (r Request) EncodeWith(c wire.Codec, e *wire.Encoder) []byte {
+	if c == wire.Gob {
+		return r.Encode()
+	}
+	e.Byte(tagRequest)
+	e.String(r.Session)
+	e.Varint(r.Seq)
+	e.String(string(r.Op))
+	e.String(r.Path)
+	e.Bytes(r.Data)
+	e.Varint(int64(r.Version))
+	e.Byte(byte(r.Flags))
+	return e.Data()
+}
+
+// decodeRequestWith parses a session-queue body under the same codec.
+func decodeRequestWith(c wire.Codec, b []byte) (Request, error) {
+	if c == wire.Gob {
+		return DecodeRequest(b)
+	}
+	d := wire.NewDecoder(b)
+	if d.Byte() != tagRequest {
+		return Request{}, fmt.Errorf("%w: request tag", wire.ErrCorrupt)
+	}
+	r := Request{
+		Session: d.String(),
+		Seq:     d.Varint(),
+		Op:      OpCode(d.String()),
+		Path:    d.String(),
+		Data:    d.Bytes(),
+		Version: int32(d.Varint()),
+		Flags:   znode.Flags(d.Byte()),
+	}
+	return r, d.Err()
+}
+
+// encodeWith serializes the leader message with the chosen codec; same
+// buffer ownership rules as Request.encodeWith.
+func (m leaderMsg) encodeWith(c wire.Codec, e *wire.Encoder) []byte {
+	if c == wire.Gob {
+		return m.encode()
+	}
+	e.Byte(tagLeaderMsg)
+	e.String(m.Session)
+	e.Varint(m.Seq)
+	e.String(string(m.Op))
+	e.String(m.Path)
+	e.Varint(int64(m.Shard))
+	e.Varint(int64(m.Fanout))
+	e.Varint(m.DeregID)
+	e.Bytes(m.NodeBlob)
+	e.String(m.ParentPath)
+	e.String(m.ChildAdd)
+	e.String(m.ChildDel)
+	e.Varint(m.LockTs)
+	e.Varint(m.ParentLockTs)
+	e.Varint(int64(m.Version))
+	e.Varint(int64(m.Cversion))
+	e.String(m.EphOwner)
+	return e.Data()
+}
+
+// decodeLeaderMsgWith parses a leader-queue body under the same codec.
+func decodeLeaderMsgWith(c wire.Codec, b []byte) (leaderMsg, error) {
+	if c == wire.Gob {
+		return decodeLeaderMsg(b)
+	}
+	d := wire.NewDecoder(b)
+	if d.Byte() != tagLeaderMsg {
+		return leaderMsg{}, fmt.Errorf("%w: leader msg tag", wire.ErrCorrupt)
+	}
+	m := leaderMsg{
+		Session:      d.String(),
+		Seq:          d.Varint(),
+		Op:           OpCode(d.String()),
+		Path:         d.String(),
+		Shard:        int(d.Varint()),
+		Fanout:       int(d.Varint()),
+		DeregID:      d.Varint(),
+		NodeBlob:     d.Bytes(),
+		ParentPath:   d.String(),
+		ChildAdd:     d.String(),
+		ChildDel:     d.String(),
+		LockTs:       d.Varint(),
+		ParentLockTs: d.Varint(),
+		Version:      int32(d.Varint()),
+		Cversion:     int32(d.Varint()),
+		EphOwner:     d.String(),
+	}
+	return m, d.Err()
+}
+
+// encodeWith serializes the transaction payload with the chosen codec;
+// same buffer ownership rules as Request.encodeWith.
+func (m txnMsg) encodeWith(c wire.Codec, e *wire.Encoder) []byte {
+	if c == wire.Gob {
+		return m.encode()
+	}
+	e.Byte(tagTxnMsg)
+	e.Varint(m.ID)
+	txn.AppendResolvedOps(e, m.Ops)
+	e.Strings(m.ItemPaths)
+	e.Int64s(m.LockTs)
+	return e.Data()
+}
+
+// decodeTxnMsgWith parses a transaction payload under the same codec.
+func decodeTxnMsgWith(c wire.Codec, b []byte) (txnMsg, error) {
+	if c == wire.Gob {
+		return decodeTxnMsg(b)
+	}
+	d := wire.NewDecoder(b)
+	if d.Byte() != tagTxnMsg {
+		return txnMsg{}, fmt.Errorf("%w: txn msg tag", wire.ErrCorrupt)
+	}
+	m := txnMsg{
+		ID:        d.Varint(),
+		Ops:       txn.ReadResolvedOps(&d),
+		ItemPaths: d.Strings(),
+		LockTs:    d.Int64s(),
+	}
+	return m, d.Err()
+}
+
+// encodeWith serializes the watch invocation payload with the chosen
+// codec; same buffer ownership rules as Request.encodeWith (the faas
+// platform retains async payloads — Detach before Release).
+func (p watchPayload) encodeWith(c wire.Codec, e *wire.Encoder) []byte {
+	if c == wire.Gob {
+		return p.encode()
+	}
+	e.Byte(tagWatch)
+	e.Varint(p.WatchID)
+	e.Byte(byte(p.Event))
+	e.String(p.Path)
+	e.Varint(p.Txid)
+	e.Strings(p.Sessions)
+	return e.Data()
+}
+
+// encodeWatchOwned serializes a watch payload into bytes the callee may
+// retain (faas.InvokeAsync captures its payload in a goroutine): the
+// pooled scratch buffer is detached before the encoder is recycled.
+func (d *Deployment) encodeWatchOwned(p watchPayload) []byte {
+	e := wire.NewEncoder()
+	b := p.encodeWith(d.Cfg.codec, e)
+	e.Detach()
+	e.Release()
+	return b
+}
+
+// encodeTxnMsgOwned serializes a transaction payload into owned bytes
+// (it rides inside a leaderMsg, outliving any scratch buffer scope).
+func (d *Deployment) encodeTxnMsgOwned(m txnMsg) []byte {
+	e := wire.NewEncoder()
+	b := m.encodeWith(d.Cfg.codec, e)
+	e.Detach()
+	e.Release()
+	return b
+}
+
+// decodeWatchPayloadWith parses a watch payload under the same codec.
+func decodeWatchPayloadWith(c wire.Codec, b []byte) (watchPayload, error) {
+	if c == wire.Gob {
+		return decodeWatchPayload(b)
+	}
+	d := wire.NewDecoder(b)
+	if d.Byte() != tagWatch {
+		return watchPayload{}, fmt.Errorf("%w: watch payload tag", wire.ErrCorrupt)
+	}
+	p := watchPayload{
+		WatchID:  d.Varint(),
+		Event:    EventType(d.Byte()),
+		Path:     d.String(),
+		Txid:     d.Varint(),
+		Sessions: d.Strings(),
+	}
+	return p, d.Err()
+}

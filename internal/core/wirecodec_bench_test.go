@@ -1,0 +1,65 @@
+package core
+
+// BenchmarkWireCodec isolates the codecs from the pipeline: encode and
+// decode per hot message type, gob vs binary, with allocs reported. This
+// is the microscopic view behind the BenchmarkFK* deltas — run with
+//
+//	go test ./internal/core -bench BenchmarkWireCodec -benchmem
+//
+// to see the per-message cost the binary codec removes.
+
+import (
+	"testing"
+
+	"faaskeeper/internal/wire"
+)
+
+func BenchmarkWireCodec(b *testing.B) {
+	req := testRequests()[1]
+	lm := testLeaderMsgs()[1]
+	tm := testTxnMsgs()[1]
+	wp := testWatchPayloads()[1]
+	for _, c := range []wire.Codec{wire.Gob, wire.Binary} {
+		c := c
+		b.Run("request/"+c.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := wire.NewEncoder()
+				if _, err := decodeRequestWith(c, req.EncodeWith(c, e)); err != nil {
+					b.Fatal(err)
+				}
+				e.Release()
+			}
+		})
+		b.Run("leadermsg/"+c.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := wire.NewEncoder()
+				if _, err := decodeLeaderMsgWith(c, lm.encodeWith(c, e)); err != nil {
+					b.Fatal(err)
+				}
+				e.Release()
+			}
+		})
+		b.Run("txnmsg/"+c.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := wire.NewEncoder()
+				if _, err := decodeTxnMsgWith(c, tm.encodeWith(c, e)); err != nil {
+					b.Fatal(err)
+				}
+				e.Release()
+			}
+		})
+		b.Run("watch/"+c.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := wire.NewEncoder()
+				if _, err := decodeWatchPayloadWith(c, wp.encodeWith(c, e)); err != nil {
+					b.Fatal(err)
+				}
+				e.Release()
+			}
+		})
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+// Round-trip, cross-codec equivalence, and allocation-budget tests for
+// the binary wire codecs. Every wire type must satisfy two properties:
+// decode(encode(x)) == x under each codec, and the two codecs must be
+// semantically equivalent — the same value decodes to the same value
+// whichever representation carried it. Gob decodes empty slices as nil,
+// so comparisons normalize nil vs empty.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"faaskeeper/internal/txn"
+	"faaskeeper/internal/wire"
+	"faaskeeper/internal/znode"
+)
+
+func testRequests() []Request {
+	return []Request{
+		{},
+		{Session: "s-1", Seq: 7, Op: OpCreate, Path: "/a/b", Data: []byte("payload"), Version: -1, Flags: znode.FlagEphemeral},
+		{Session: "s-2", Seq: -3, Op: OpSetData, Path: "/x", Data: bytes.Repeat([]byte{0xFF}, 300), Version: 12},
+		{Session: "watch", Op: OpDeregister, Path: "/w", Data: nil},
+	}
+}
+
+func testLeaderMsgs() []leaderMsg {
+	return []leaderMsg{
+		{},
+		{
+			Session: "s", Seq: 9, Op: OpCreate, Path: "/p/c", Shard: 3, Fanout: 2, DeregID: 44,
+			NodeBlob: []byte{1, 2, 3}, ParentPath: "/p", ChildAdd: "c", ChildDel: "d",
+			LockTs: 100, ParentLockTs: 101, Version: 5, Cversion: 6, EphOwner: "owner",
+		},
+		{Session: "neg", Seq: -1, Op: OpDelete, Path: "/z", Version: -1},
+	}
+}
+
+func testTxnMsgs() []txnMsg {
+	return []txnMsg{
+		{},
+		{
+			ID: 88,
+			Ops: []txn.ResolvedOp{
+				{Type: txn.OpCreate, Path: "/t/a", ParentPath: "/t", Data: []byte("d"), Cversion: 2, EphOwner: "e", ChildAdd: "a", Shard: 1},
+				{Type: txn.OpDelete, Path: "/t/b", ParentPath: "/t", Version: 3, ChildDel: "b", Shard: 2},
+				{Type: txn.OpCheck, Path: "/t"},
+			},
+			ItemPaths: []string{"/t/a", "/t/b"},
+			LockTs:    []int64{10, -20},
+		},
+	}
+}
+
+func testWatchPayloads() []watchPayload {
+	return []watchPayload{
+		{},
+		{WatchID: 5, Event: EventDataChanged, Path: "/w", Txid: 99, Sessions: []string{"a", "b"}},
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form so gob's
+// nil-for-empty decoding compares equal to the binary decoder's output.
+func normReq(r Request) Request {
+	if len(r.Data) == 0 {
+		r.Data = nil
+	}
+	return r
+}
+
+func normLM(m leaderMsg) leaderMsg {
+	if len(m.NodeBlob) == 0 {
+		m.NodeBlob = nil
+	}
+	return m
+}
+
+func normTM(m txnMsg) txnMsg {
+	for i := range m.Ops {
+		if len(m.Ops[i].Data) == 0 {
+			m.Ops[i].Data = nil
+		}
+	}
+	if len(m.Ops) == 0 {
+		m.Ops = nil
+	}
+	if len(m.ItemPaths) == 0 {
+		m.ItemPaths = nil
+	}
+	if len(m.LockTs) == 0 {
+		m.LockTs = nil
+	}
+	return m
+}
+
+func normWP(p watchPayload) watchPayload {
+	if len(p.Sessions) == 0 {
+		p.Sessions = nil
+	}
+	return p
+}
+
+func TestRequestCodecEquivalence(t *testing.T) {
+	for _, r := range testRequests() {
+		for _, c := range []wire.Codec{wire.Gob, wire.Binary} {
+			e := wire.NewEncoder()
+			got, err := decodeRequestWith(c, r.EncodeWith(c, e))
+			e.Release()
+			if err != nil {
+				t.Fatalf("%v decode: %v", c, err)
+			}
+			if !reflect.DeepEqual(normReq(got), normReq(r)) {
+				t.Errorf("%v round trip: %+v != %+v", c, got, r)
+			}
+		}
+	}
+}
+
+func TestLeaderMsgCodecEquivalence(t *testing.T) {
+	for _, m := range testLeaderMsgs() {
+		for _, c := range []wire.Codec{wire.Gob, wire.Binary} {
+			e := wire.NewEncoder()
+			got, err := decodeLeaderMsgWith(c, m.encodeWith(c, e))
+			e.Release()
+			if err != nil {
+				t.Fatalf("%v decode: %v", c, err)
+			}
+			if !reflect.DeepEqual(normLM(got), normLM(m)) {
+				t.Errorf("%v round trip: %+v != %+v", c, got, m)
+			}
+		}
+	}
+}
+
+func TestTxnMsgCodecEquivalence(t *testing.T) {
+	for _, m := range testTxnMsgs() {
+		for _, c := range []wire.Codec{wire.Gob, wire.Binary} {
+			e := wire.NewEncoder()
+			got, err := decodeTxnMsgWith(c, m.encodeWith(c, e))
+			e.Release()
+			if err != nil {
+				t.Fatalf("%v decode: %v", c, err)
+			}
+			if !reflect.DeepEqual(normTM(got), normTM(m)) {
+				t.Errorf("%v round trip: %+v != %+v", c, got, m)
+			}
+		}
+	}
+}
+
+func TestWatchPayloadCodecEquivalence(t *testing.T) {
+	for _, p := range testWatchPayloads() {
+		for _, c := range []wire.Codec{wire.Gob, wire.Binary} {
+			e := wire.NewEncoder()
+			got, err := decodeWatchPayloadWith(c, p.encodeWith(c, e))
+			e.Release()
+			if err != nil {
+				t.Fatalf("%v decode: %v", c, err)
+			}
+			if !reflect.DeepEqual(normWP(got), normWP(p)) {
+				t.Errorf("%v round trip: %+v != %+v", c, got, p)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsWrongTag(t *testing.T) {
+	e := wire.NewEncoder()
+	defer e.Release()
+	b := Request{Session: "s"}.EncodeWith(wire.Binary, e)
+	if _, err := decodeLeaderMsgWith(wire.Binary, b); err == nil {
+		t.Error("leaderMsg decode accepted a request blob")
+	}
+	if _, err := decodeTxnMsgWith(wire.Binary, b); err == nil {
+		t.Error("txnMsg decode accepted a request blob")
+	}
+	if _, err := decodeWatchPayloadWith(wire.Binary, b); err == nil {
+		t.Error("watchPayload decode accepted a request blob")
+	}
+}
+
+// Allocation budgets for the binary hot paths, locked so a regression
+// that reintroduces per-message garbage fails loudly. The counts are
+// ceilings, not exact (minor Go-version variance): a full encode+decode
+// round trip of a request is at most 5 allocations (three decoded
+// strings, the Op string, slice headers) and a leader message at most 8.
+// The gob equivalents run 30+ allocations per round trip — the budget
+// tests double as the codec's raison d'être.
+func TestBinaryAllocBudgets(t *testing.T) {
+	req := testRequests()[1]
+	lm := testLeaderMsgs()[1]
+	if allocs := testing.AllocsPerRun(200, func() {
+		e := wire.NewEncoder()
+		b := req.EncodeWith(wire.Binary, e)
+		if _, err := decodeRequestWith(wire.Binary, b); err != nil {
+			t.Fatal(err)
+		}
+		e.Release()
+	}); allocs > 5 {
+		t.Errorf("request binary round trip: %.0f allocs, budget 5", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		e := wire.NewEncoder()
+		b := lm.encodeWith(wire.Binary, e)
+		if _, err := decodeLeaderMsgWith(wire.Binary, b); err != nil {
+			t.Fatal(err)
+		}
+		e.Release()
+	}); allocs > 8 {
+		t.Errorf("leader msg binary round trip: %.0f allocs, budget 8", allocs)
+	}
+}
+
+// FuzzRequestCodecs feeds arbitrary field values through both codecs and
+// requires agreement: each round-trips exactly, and binary(x) decodes to
+// the same value gob(x) decodes to.
+func FuzzRequestCodecs(f *testing.F) {
+	f.Add("s", int64(1), "create", "/a", []byte("d"), int32(-1), byte(1))
+	f.Add("", int64(0), "", "", []byte(nil), int32(0), byte(0))
+	f.Fuzz(func(t *testing.T, session string, seq int64, op string, path string, data []byte, version int32, flags byte) {
+		r := Request{Session: session, Seq: seq, Op: OpCode(op), Path: path, Data: data, Version: version, Flags: znode.Flags(flags)}
+		e := wire.NewEncoder()
+		defer e.Release()
+		bin, err := decodeRequestWith(wire.Binary, r.EncodeWith(wire.Binary, e))
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		g, err := decodeRequestWith(wire.Gob, r.Encode())
+		if err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(normReq(bin), normReq(g)) {
+			t.Fatalf("codecs disagree: binary %+v, gob %+v", bin, g)
+		}
+		if !reflect.DeepEqual(normReq(bin), normReq(r)) {
+			t.Fatalf("round trip: %+v != %+v", bin, r)
+		}
+	})
+}
+
+// FuzzLeaderMsgCodecs does the same for the leader pipeline message.
+func FuzzLeaderMsgCodecs(f *testing.F) {
+	f.Add("s", int64(2), "set_data", "/p", 1, 0, int64(3), []byte{9}, "/q", "a", "b", int64(4), int64(5), int32(6), int32(7), "o")
+	f.Fuzz(func(t *testing.T, session string, seq int64, op string, path string, shard int, fanout int, deregID int64,
+		blob []byte, parent string, childAdd string, childDel string, lockTs int64, parentLockTs int64,
+		version int32, cversion int32, ephOwner string) {
+		m := leaderMsg{
+			Session: session, Seq: seq, Op: OpCode(op), Path: path, Shard: shard, Fanout: fanout,
+			DeregID: deregID, NodeBlob: blob, ParentPath: parent, ChildAdd: childAdd, ChildDel: childDel,
+			LockTs: lockTs, ParentLockTs: parentLockTs, Version: version, Cversion: cversion, EphOwner: ephOwner,
+		}
+		e := wire.NewEncoder()
+		defer e.Release()
+		bin, err := decodeLeaderMsgWith(wire.Binary, m.encodeWith(wire.Binary, e))
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		g, err := decodeLeaderMsgWith(wire.Gob, m.encode())
+		if err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(normLM(bin), normLM(g)) {
+			t.Fatalf("codecs disagree: binary %+v, gob %+v", bin, g)
+		}
+		if !reflect.DeepEqual(normLM(bin), normLM(m)) {
+			t.Fatalf("round trip: %+v != %+v", bin, m)
+		}
+	})
+}
+
+// FuzzWatchPayloadCodecs covers the watch invocation payload, including
+// multi-element session lists.
+func FuzzWatchPayloadCodecs(f *testing.F) {
+	f.Add(int64(1), byte(2), "/w", int64(3), "a", "b")
+	f.Fuzz(func(t *testing.T, wid int64, event byte, path string, txid int64, s1 string, s2 string) {
+		p := watchPayload{WatchID: wid, Event: EventType(event), Path: path, Txid: txid, Sessions: []string{s1, s2}}
+		e := wire.NewEncoder()
+		defer e.Release()
+		bin, err := decodeWatchPayloadWith(wire.Binary, p.encodeWith(wire.Binary, e))
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		g, err := decodeWatchPayloadWith(wire.Gob, p.encode())
+		if err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(normWP(bin), normWP(g)) {
+			t.Fatalf("codecs disagree: binary %+v, gob %+v", bin, g)
+		}
+	})
+}
+
+// FuzzTxnMsgCodecs covers the transaction payload with one fuzzed
+// resolved op plus list fields.
+func FuzzTxnMsgCodecs(f *testing.F) {
+	f.Add(int64(1), "create", "/t/a", "/t", []byte("d"), int32(1), int32(2), "e", "a", "", 3, "/t/a", int64(9))
+	f.Fuzz(func(t *testing.T, id int64, opType string, path string, parent string, data []byte,
+		version int32, cversion int32, ephOwner string, childAdd string, childDel string, shard int,
+		itemPath string, lockTs int64) {
+		m := txnMsg{
+			ID: id,
+			Ops: []txn.ResolvedOp{{
+				Type: txn.OpType(opType), Path: path, ParentPath: parent, Data: data,
+				Version: version, Cversion: cversion, EphOwner: ephOwner,
+				ChildAdd: childAdd, ChildDel: childDel, Shard: shard,
+			}},
+			ItemPaths: []string{itemPath},
+			LockTs:    []int64{lockTs},
+		}
+		e := wire.NewEncoder()
+		defer e.Release()
+		bin, err := decodeTxnMsgWith(wire.Binary, m.encodeWith(wire.Binary, e))
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		g, err := decodeTxnMsgWith(wire.Gob, m.encode())
+		if err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(normTM(bin), normTM(g)) {
+			t.Fatalf("codecs disagree: binary %+v, gob %+v", bin, g)
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/txn"
+	"faaskeeper/internal/wire"
 	"faaskeeper/internal/znode"
 )
 
@@ -69,6 +70,15 @@ type Client struct {
 	lcache   *cache.LRU
 	cacheTTL time.Duration
 	lastSeen map[string]int64
+
+	// codec is the deployment's wire codec; requests this session encodes
+	// must match what the followers decode.
+	codec wire.Codec
+	// decoded memoizes the znode decoded from a client-cache entry, keyed
+	// by path and guarded by the entry's mzxid, so a repeat L1 hit skips
+	// the blob parse (binary fast path only; see fetch). The memo keeps
+	// private copies — hits hand out a shallow clone with copied Data.
+	decoded map[string]decodedNode
 
 	// smap is the session's cached view of the dynamic shard map (nil on
 	// static deployments). The client uses it for per-shard MRD floor
@@ -128,6 +138,7 @@ func Connect(d *core.Deployment, id string, region cloud.Region) (*Client, error
 		buffered:  map[int64]core.Response{},
 		mrd:       map[int]int64{},
 		watches:   map[int64]*watchEntry{},
+		codec:     d.WireCodec(),
 	}
 	if d.Dynamic() {
 		c.smap = d.LoadShardMap(c.ctx)
@@ -188,7 +199,10 @@ func (c *Client) senderLoop() {
 		if !ok {
 			return
 		}
-		if _, err := c.transport.Queue.Send(c.ctx, c.id, op.req.Encode()); err != nil {
+		e := wire.NewEncoder()
+		_, err := c.transport.Queue.Send(c.ctx, c.id, op.req.EncodeWith(c.codec, e))
+		e.Release()
+		if err != nil {
 			op.done.TryComplete(core.Response{
 				Session: c.id, Seq: op.req.Seq, Code: core.CodeSystemError,
 			})
@@ -517,7 +531,7 @@ func (c *Client) Multi(ops ...txn.Op) ([]txn.Result, error) {
 	p := &pendingOp{
 		req: core.Request{
 			Session: c.id, Seq: seq, Op: core.OpMulti,
-			Path: ops[0].Path, Data: txn.EncodeOps(ops),
+			Path: ops[0].Path, Data: txn.EncodeOpsWith(c.codec, ops),
 		},
 		done: sim.NewFuture[core.Response](c.d.K),
 	}
@@ -738,7 +752,12 @@ func (c *Client) fetch(path string, skipL1 bool) (*znode.Node, []int64, error) {
 		}
 		if e, ok := c.lcache.Get(path); ok && e.Mzxid >= l1Floor &&
 			c.d.K.Now()-e.FilledAt <= c.cacheTTL {
+			if n, stamp, ok := c.memoHit(path, e.Mzxid); ok {
+				c.l1Hits++
+				return n, stamp, nil
+			}
 			if n, stamp, err := znode.Unmarshal(e.Blob); err == nil {
+				c.memoize(path, e.Mzxid, n, stamp)
 				c.l1Hits++
 				return n, stamp, nil
 			}
@@ -792,6 +811,46 @@ func (c *Client) l1Cacheable(path string) bool {
 		return !c.smap.Shared(path)
 	}
 	return path != znode.Root || c.d.NumShards() == 1
+}
+
+// decodedNode is one memoized client-cache decode (see Client.decoded).
+type decodedNode struct {
+	mzxid int64
+	node  *znode.Node
+	stamp []int64
+}
+
+// memoCap bounds the decode memo; on overflow the whole map is dropped
+// (the client cache's own LRU keeps the hot set small, so an overflow
+// means pathologically many cold paths — restart cheaply).
+const memoCap = 4096
+
+// memoHit returns a private-copy-backed node for a client-cache entry
+// whose decode this session already performed at the same mzxid. The
+// handed-out node shallow-clones the memo with its own Data slice, since
+// Data is the one field callers may mutate (GetDataW exposes it).
+func (c *Client) memoHit(path string, mzxid int64) (*znode.Node, []int64, bool) {
+	dn, ok := c.decoded[path]
+	if !ok || dn.mzxid != mzxid {
+		return nil, nil, false
+	}
+	out := *dn.node
+	out.Data = append([]byte(nil), dn.node.Data...)
+	return &out, dn.stamp, true
+}
+
+// memoize records a freshly decoded client-cache entry under its mzxid.
+// The memo clones the node so the caller may hand the original to the
+// application. Binary fast path only: the gob-default deployment keeps
+// the paper's allocation profile untouched.
+func (c *Client) memoize(path string, mzxid int64, n *znode.Node, stamp []int64) {
+	if c.codec != wire.Binary {
+		return
+	}
+	if c.decoded == nil || len(c.decoded) >= memoCap {
+		c.decoded = map[string]decodedNode{}
+	}
+	c.decoded[path] = decodedNode{mzxid: mzxid, node: n.Clone(), stamp: stamp}
 }
 
 // l1Fill stores a blob in the client cache (two-level mode only).

@@ -8,6 +8,7 @@ import (
 
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/wire"
 )
 
 // The durable map lives in one system-store item. The routing table itself
@@ -44,9 +45,14 @@ func GenCond(shard int, gen int64) kv.Cond {
 
 // Store reads and writes the durable map item.
 type Store struct {
-	tbl *kv.Table
-	key string
+	tbl   *kv.Table
+	key   string
+	codec wire.Codec // map-blob serialization (zero value = gob)
 }
+
+// SetWireCodec selects the map-blob codec (set once at deployment time,
+// before the map is seeded).
+func (s *Store) SetWireCodec(c wire.Codec) { s.codec = c }
 
 // NewStore binds a store to the deployment's system table.
 func NewStore(tbl *kv.Table) *Store {
@@ -83,7 +89,7 @@ func decodeMap(b []byte) (*Map, error) {
 
 func (s *Store) item(m *Map) kv.Item {
 	it := kv.Item{
-		attrMapBlob:  kv.B(encodeMap(m)),
+		attrMapBlob:  kv.B(encodeMapWith(s.codec, m)),
 		attrMapEpoch: kv.N(m.Epoch),
 	}
 	for shard, gen := range m.Gens {
@@ -98,11 +104,11 @@ func (s *Store) Seed(m *Map) { s.tbl.SeedPut(s.key, s.item(m)) }
 
 // Load reads the current map with a strongly consistent get.
 func (s *Store) Load(ctx cloud.Ctx) (*Map, error) {
-	it, ok := s.tbl.Get(ctx, s.key, true)
+	it, ok := s.tbl.GetView(ctx, s.key, true)
 	if !ok {
 		return nil, ErrNoMap
 	}
-	return decodeMap(it[attrMapBlob].Byt)
+	return decodeMapWith(s.codec, it[attrMapBlob].Byt)
 }
 
 // Write replaces the durable map. Reshard transitions are serialized by

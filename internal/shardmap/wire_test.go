@@ -1,0 +1,104 @@
+package shardmap
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"faaskeeper/internal/wire"
+)
+
+func testMap() *Map {
+	return &Map{
+		Epoch:     9,
+		Base:      2,
+		Queues:    6,
+		Overrides: map[int]int{0: 4, 3: 5},
+		Splits:    []Split{{Prefix: "/hot", Shards: []int{4, 5}}, {Prefix: "/cold", Shards: []int{1}}},
+		SeqBase:   map[int]int64{4: 100, 5: 200},
+		Gens:      map[int]int64{0: 1, 4: 2},
+		Mig: &Migration{
+			Slots:    []int{1, 2},
+			Prefixes: []string{"/hot/a", "/hot/b"},
+			Sources:  []int{0, 0},
+			Dests:    []int{4, 5},
+		},
+	}
+}
+
+func TestMapCodecEquivalence(t *testing.T) {
+	for _, m := range []*Map{testMap(), {Epoch: 1, Base: 1, Queues: 1}} {
+		for _, c := range []wire.Codec{wire.Gob, wire.Binary} {
+			got, err := decodeMapWith(c, encodeMapWith(c, m))
+			if err != nil {
+				t.Fatalf("%v decode: %v", c, err)
+			}
+			// Both decoders nil-fill maps, so normalize the input the
+			// same way before comparing.
+			want := *m
+			if want.Overrides == nil {
+				want.Overrides = map[int]int{}
+			}
+			if want.SeqBase == nil {
+				want.SeqBase = map[int]int64{}
+			}
+			if want.Gens == nil {
+				want.Gens = map[int]int64{}
+			}
+			if !reflect.DeepEqual(got, &want) {
+				t.Errorf("%v round trip:\n got %+v\nwant %+v", c, got, &want)
+			}
+		}
+	}
+}
+
+// TestMapBinaryDeterministic pins the sorted-key encoding: the blob
+// participates in item-level conditional writes, so equal maps must
+// encode to equal bytes regardless of map iteration order.
+func TestMapBinaryDeterministic(t *testing.T) {
+	ref := encodeMapWith(wire.Binary, testMap())
+	for i := 0; i < 32; i++ {
+		m := testMap() // fresh maps each round: new iteration order
+		if b := encodeMapWith(wire.Binary, m); !bytes.Equal(b, ref) {
+			t.Fatalf("encoding differs between runs:\n%x\n%x", ref, b)
+		}
+	}
+}
+
+func TestMapDecodeRejectsCorrupt(t *testing.T) {
+	if _, err := decodeMapWith(wire.Binary, []byte{0x00, 0x01}); err == nil {
+		t.Error("bad tag accepted")
+	}
+	full := encodeMapWith(wire.Binary, testMap())
+	if _, err := decodeMapWith(wire.Binary, full[:len(full)-3]); err == nil {
+		t.Error("truncated map accepted")
+	}
+}
+
+// FuzzMapCodecs round-trips fuzzed scalar and map fields through both
+// codecs and requires field-level agreement.
+func FuzzMapCodecs(f *testing.F) {
+	f.Add(int64(1), 2, 4, 0, 5, "/hot", int64(7))
+	f.Fuzz(func(t *testing.T, epoch int64, base int, queues int, ovKey int, ovVal int, prefix string, seq int64) {
+		m := &Map{
+			Epoch:     epoch,
+			Base:      base,
+			Queues:    queues,
+			Overrides: map[int]int{ovKey: ovVal},
+			Splits:    []Split{{Prefix: prefix, Shards: []int{base}}},
+			SeqBase:   map[int]int64{ovKey: seq},
+			Gens:      map[int]int64{},
+		}
+		bin, err := decodeMapWith(wire.Binary, encodeMapWith(wire.Binary, m))
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		g, err := decodeMapWith(wire.Gob, encodeMapWith(wire.Gob, m))
+		if err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(bin, g) {
+			t.Fatalf("codecs disagree:\nbinary %+v\n   gob %+v", bin, g)
+		}
+	})
+}

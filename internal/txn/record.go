@@ -9,6 +9,7 @@ import (
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/kv"
 	"faaskeeper/internal/sim"
+	"faaskeeper/internal/wire"
 )
 
 // Status is a transaction record's state. Transitions are one-way and
@@ -83,7 +84,15 @@ type Store struct {
 	// the dynamic-sharding reshard engine enables it to quiesce in-flight
 	// transactions before draining source shards.
 	trackLive bool
+
+	// codec selects the op-blob serialization (zero value = gob, the
+	// paper-faithful default).
+	codec wire.Codec
 }
+
+// SetWireCodec selects the record's op-blob codec (set once at deployment
+// time, before any transaction runs).
+func (s *Store) SetWireCodec(c wire.Codec) { s.codec = c }
 
 // liveKey / attrLive hold the live-record counter item.
 const (
@@ -137,7 +146,7 @@ func (s *Store) Begin(ctx cloud.Ctx, id int64, session string, seq int64, ops []
 		attrStatus:  kv.S(string(StatusPreparing)),
 		attrSession: kv.S(session),
 		attrSeq:     kv.N(seq),
-		attrOps:     kv.B(EncodeOps(ops)),
+		attrOps:     kv.B(EncodeOpsWith(s.codec, ops)),
 	}, nil); err != nil {
 		return err
 	}
@@ -162,10 +171,10 @@ func (s *Store) Lookup(ctx cloud.Ctx, id int64) (Record, bool) {
 	if !ok {
 		return Record{}, false
 	}
-	return decodeRecord(id, it), true
+	return s.decodeRecord(id, it), true
 }
 
-func decodeRecord(id int64, it kv.Item) Record {
+func (s *Store) decodeRecord(id int64, it kv.Item) Record {
 	r := Record{
 		ID:      id,
 		Status:  Status(it[attrStatus].Str),
@@ -176,10 +185,10 @@ func decodeRecord(id int64, it kv.Item) Record {
 		Commits: map[int]int64{},
 	}
 	if b := it[attrOps].Byt; len(b) > 0 {
-		r.Ops, _ = DecodeOps(b)
+		r.Ops, _ = DecodeOpsWith(s.codec, b)
 	}
 	if b := it[attrResolved].Byt; len(b) > 0 {
-		r.Resolved, _ = DecodeResolved(b)
+		r.Resolved, _ = DecodeResolvedWith(s.codec, b)
 	}
 	for _, m := range it[attrVotes].SL {
 		if shard, val, ok := splitMarker(m); ok {
@@ -228,7 +237,7 @@ func (s *Store) Vote(ctx cloud.Ctx, id int64, shard int, verdict string) (Record
 	if err != nil {
 		return Record{}, err
 	}
-	return decodeRecord(id, it), nil
+	return s.decodeRecord(id, it), nil
 }
 
 // Decide performs the conditional status transition that makes the
@@ -237,7 +246,7 @@ func (s *Store) Vote(ctx cloud.Ctx, id int64, shard int, verdict string) (Record
 func (s *Store) Decide(ctx cloud.Ctx, id int64, from, to Status, resolved []ResolvedOp) error {
 	ups := []kv.Update{kv.Set{Name: attrStatus, V: kv.S(string(to))}}
 	if resolved != nil {
-		ups = append(ups, kv.Set{Name: attrResolved, V: kv.B(EncodeResolved(resolved))})
+		ups = append(ups, kv.Set{Name: attrResolved, V: kv.B(EncodeResolvedWith(s.codec, resolved))})
 	}
 	_, err := s.tbl.Update(ctx, recordKey(id), ups,
 		kv.Eq{Name: attrStatus, V: kv.S(string(from))})
@@ -267,7 +276,7 @@ func (s *Store) Ready(ctx cloud.Ctx, id int64, shard int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return len(decodeRecord(id, it).Ready), nil
+	return len(s.decodeRecord(id, it).Ready), nil
 }
 
 // Delete garbage collects a finished record and its request pointer.

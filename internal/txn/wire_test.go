@@ -1,0 +1,146 @@
+package txn
+
+import (
+	"reflect"
+	"testing"
+
+	"faaskeeper/internal/wire"
+	"faaskeeper/internal/znode"
+)
+
+func testOps() []Op {
+	return []Op{
+		Create("/t/a", []byte("data"), znode.FlagEphemeral),
+		SetData("/t/b", nil, 7),
+		Delete("/t/c", -1),
+		Check("/t", 3),
+	}
+}
+
+func testResolved() []ResolvedOp {
+	return []ResolvedOp{
+		{Type: OpCreate, Path: "/t/a0001", ParentPath: "/t", Data: []byte("d"), Cversion: 4, EphOwner: "sess", ChildAdd: "a0001", Shard: 2},
+		{Type: OpSetData, Path: "/t/b", Data: nil, Version: 8, Shard: 0},
+		{Type: OpDelete, Path: "/t/c", ParentPath: "/t", Version: 2, ChildDel: "c", Shard: 1},
+		{Type: OpCheck, Path: "/t"},
+	}
+}
+
+func normOps(ops []Op) []Op {
+	out := append([]Op(nil), ops...)
+	for i := range out {
+		if len(out[i].Data) == 0 {
+			out[i].Data = nil
+		}
+	}
+	return out
+}
+
+func normResolved(ops []ResolvedOp) []ResolvedOp {
+	out := append([]ResolvedOp(nil), ops...)
+	for i := range out {
+		if len(out[i].Data) == 0 {
+			out[i].Data = nil
+		}
+	}
+	return out
+}
+
+func TestOpsCodecEquivalence(t *testing.T) {
+	ops := testOps()
+	for _, c := range []wire.Codec{wire.Gob, wire.Binary} {
+		got, err := DecodeOpsWith(c, EncodeOpsWith(c, ops))
+		if err != nil {
+			t.Fatalf("%v decode: %v", c, err)
+		}
+		if !reflect.DeepEqual(normOps(got), normOps(ops)) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", c, got, ops)
+		}
+	}
+}
+
+func TestResolvedCodecEquivalence(t *testing.T) {
+	ops := testResolved()
+	for _, c := range []wire.Codec{wire.Gob, wire.Binary} {
+		got, err := DecodeResolvedWith(c, EncodeResolvedWith(c, ops))
+		if err != nil {
+			t.Fatalf("%v decode: %v", c, err)
+		}
+		if !reflect.DeepEqual(normResolved(got), normResolved(ops)) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", c, got, ops)
+		}
+	}
+}
+
+func TestOpsDecodeRejectsCorrupt(t *testing.T) {
+	if _, err := DecodeOpsWith(wire.Binary, []byte{0xEE}); err == nil {
+		t.Error("bad tag accepted")
+	}
+	if _, err := DecodeResolvedWith(wire.Binary, EncodeOpsWith(wire.Binary, testOps())); err == nil {
+		t.Error("resolved decode accepted an ops blob")
+	}
+	// A truncated buffer must error, not return a partial list silently.
+	full := EncodeOpsWith(wire.Binary, testOps())
+	if _, err := DecodeOpsWith(wire.Binary, full[:len(full)/2]); err == nil {
+		t.Error("truncated ops accepted")
+	}
+}
+
+// TestOpsBinaryAllocBudget locks the binary round trip's allocation
+// ceiling: one detached encode buffer plus the decoded list and its
+// strings. The gob path runs an order of magnitude more.
+func TestOpsBinaryAllocBudget(t *testing.T) {
+	ops := testOps()
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeOpsWith(wire.Binary, EncodeOpsWith(wire.Binary, ops)); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 16 {
+		t.Errorf("ops binary round trip: %.0f allocs, budget 16", allocs)
+	}
+}
+
+// FuzzOpsCodecs round-trips one fuzzed op through both codecs and
+// requires they agree on the decoded value.
+func FuzzOpsCodecs(f *testing.F) {
+	f.Add("create", "/a", []byte("d"), int32(-1), byte(1))
+	f.Add("", "", []byte(nil), int32(0), byte(0))
+	f.Fuzz(func(t *testing.T, opType string, path string, data []byte, version int32, flags byte) {
+		ops := []Op{{Type: OpType(opType), Path: path, Data: data, Version: version, Flags: znode.Flags(flags)}}
+		bin, err := DecodeOpsWith(wire.Binary, EncodeOpsWith(wire.Binary, ops))
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		g, err := DecodeOpsWith(wire.Gob, EncodeOpsWith(wire.Gob, ops))
+		if err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(normOps(bin), normOps(g)) {
+			t.Fatalf("codecs disagree: binary %+v, gob %+v", bin, g)
+		}
+	})
+}
+
+// FuzzResolvedCodecs does the same for the resolved-op vocabulary.
+func FuzzResolvedCodecs(f *testing.F) {
+	f.Add("create", "/a", "/p", []byte("d"), int32(1), int32(2), "e", "a", "", 3)
+	f.Fuzz(func(t *testing.T, opType string, path string, parent string, data []byte,
+		version int32, cversion int32, ephOwner string, childAdd string, childDel string, shard int) {
+		ops := []ResolvedOp{{
+			Type: OpType(opType), Path: path, ParentPath: parent, Data: data,
+			Version: version, Cversion: cversion, EphOwner: ephOwner,
+			ChildAdd: childAdd, ChildDel: childDel, Shard: shard,
+		}}
+		bin, err := DecodeResolvedWith(wire.Binary, EncodeResolvedWith(wire.Binary, ops))
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		g, err := DecodeResolvedWith(wire.Gob, EncodeResolvedWith(wire.Gob, ops))
+		if err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(normResolved(bin), normResolved(g)) {
+			t.Fatalf("codecs disagree: binary %+v, gob %+v", bin, g)
+		}
+	})
+}
