@@ -17,6 +17,10 @@
 // del PATH [VERSION], check PATH [VERSION]; requires -txn.
 // reshard map | grow N | shrink N | split PREFIX WAYS | merge PREFIX
 // drives the live shard map; requires -dynamic.
+// trace dumps the per-request span log recorded so far; requires -trace.
+//
+// -trace FILE enables the telemetry subsystem and writes a Chrome
+// trace-event JSON file on exit (open it in chrome://tracing or Perfetto).
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"faaskeeper"
+	"faaskeeper/internal/obs"
 )
 
 func main() {
@@ -36,6 +41,7 @@ func main() {
 	shards := flag.Int("shards", 1, "leader write shards (1 = paper-faithful)")
 	txnOn := flag.Bool("txn", false, "enable multi() transactions")
 	dynamic := flag.Bool("dynamic", false, "enable the live shard map (reshard command)")
+	traceFile := flag.String("trace", "", "enable telemetry and write a Chrome trace-event file on exit")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -67,6 +73,7 @@ func main() {
 		WriteShards:   *shards,
 		EnableTxn:     *txnOn,
 		DynamicShards: *dynamic,
+		Telemetry:     *traceFile != "",
 	})
 	exit := 0
 	s.Go(func() {
@@ -87,13 +94,40 @@ func main() {
 	})
 	s.Run()
 	s.Shutdown()
+	if *traceFile != "" {
+		if err := writeTrace(d, *traceFile); err != nil {
+			fmt.Println("trace:", err)
+			exit = 1
+		}
+	}
 	fmt.Printf("-- virtual time: %v, total cost: $%.6f --\n", s.Now(), d.TotalCost())
 	os.Exit(exit)
+}
+
+// writeTrace exports every recorded span as a Chrome trace-event file.
+func writeTrace(d *faaskeeper.Deployment, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans := d.Obs().Tracer.Spans()
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d spans to %s\n", len(spans), path)
+	return nil
 }
 
 func run(s *faaskeeper.Simulation, d *faaskeeper.Deployment, c *faaskeeper.Client, cmd []string) error {
 	if cmd[0] == "reshard" {
 		return runReshard(d, cmd[1:])
+	}
+	if cmd[0] == "trace" {
+		if !d.Obs().Tracer.Enabled() {
+			return fmt.Errorf("telemetry is off; run with -trace FILE")
+		}
+		return obs.WriteSpanLog(os.Stdout, d.Obs().Tracer.Spans())
 	}
 	if len(cmd) < 2 {
 		return fmt.Errorf("need a path")

@@ -30,6 +30,7 @@ import (
 	"faaskeeper/internal/cloud/faas"
 	"faaskeeper/internal/core"
 	"faaskeeper/internal/fkclient"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/txn"
 	"faaskeeper/internal/zk"
@@ -215,6 +216,17 @@ type DeploymentOptions struct {
 	// encode buffers, reflection-free decoding, and the client's
 	// cached-read decode memo). Same protocol semantics either way.
 	WireCodec string
+	// Telemetry enables the virtual-time observability subsystem
+	// (package obs): a causal span per request covering every pipeline
+	// stage, plus counters/gauges/histograms keyed by component, shard,
+	// and region. Spans are pure bookkeeping — virtual timing and wire
+	// bytes are identical either way — and with Telemetry off (the
+	// default) every instrumentation point is a zero-allocation no-op.
+	// Export via Deployment.Obs: Chrome trace-event JSON
+	// (obs.WriteChromeTrace), a Prometheus-style text dump
+	// (obs.WritePrometheus), or a per-request span log
+	// (obs.WriteSpanLog). See the "telemetry" experiment.
+	Telemetry bool
 }
 
 // AutoShard is the shard auto-scaling policy (DeploymentOptions.AutoShard).
@@ -251,6 +263,7 @@ func (s *Simulation) DeployFaaSKeeper(opts DeploymentOptions) *Deployment {
 		AutoShard:            opts.AutoShard,
 		CacheWarmK:           opts.CacheWarmK,
 		WireCodec:            opts.WireCodec,
+		Telemetry:            opts.Telemetry,
 	}
 	if opts.ARM {
 		cfg.Arch = faas.ARM
@@ -291,6 +304,10 @@ func (d *Deployment) ShardMapInfo() string {
 	}
 	return m.String()
 }
+
+// Obs returns the deployment's telemetry hub — the request tracer and the
+// component metrics registry (inert unless DeploymentOptions.Telemetry).
+func (d *Deployment) Obs() *obs.Hub { return d.core.Obs }
 
 // TotalCost returns the accumulated pay-as-you-go dollars.
 func (d *Deployment) TotalCost() float64 { return d.core.Env.Meter.Total() }

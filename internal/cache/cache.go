@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/wire"
 )
@@ -39,6 +40,24 @@ type Stats struct {
 	Fills         int64
 	RejectedFills int64
 	Invalidations int64
+}
+
+// Publish mirrors the counters into a metrics registry as gauges keyed
+// by the cache node's region — the snapshot the telemetry exporters dump
+// alongside the pipeline's own instruments.
+func (s Stats) Publish(reg *obs.Registry, region string) {
+	for _, g := range []struct {
+		name string
+		v    int64
+	}{
+		{"hits", s.Hits},
+		{"misses", s.Misses},
+		{"fills", s.Fills},
+		{"rejected_fills", s.RejectedFills},
+		{"invalidations", s.Invalidations},
+	} {
+		reg.SetGauge(obs.Key{Component: "cache", Name: g.name, Region: region}, g.v)
+	}
 }
 
 // HitRatio returns hits / (hits + misses), or 0 with no traffic.

@@ -11,6 +11,7 @@ import (
 	"faaskeeper/internal/cloud/network"
 	"faaskeeper/internal/cloud/queue"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/stats"
@@ -164,6 +165,16 @@ type Config struct {
 	// Table 3).
 	CollectPhases bool
 
+	// Telemetry enables the virtual-time telemetry subsystem (package
+	// obs): causal per-request span trees across the whole pipeline and
+	// hot-path counters/histograms in the metrics registry. Trace ids are
+	// derived from fields the wire already carries, so gob messages — and
+	// therefore the golden virtual-time trace — stay byte-identical, and
+	// with Telemetry off every instrumentation point is a zero-allocation
+	// no-op. Default false. (Registry gauges, the AutoShard monitor's
+	// control-plane signals, function regardless of this flag.)
+	Telemetry bool
+
 	// Faults injects failures for resilience tests.
 	Faults Faults
 
@@ -312,6 +323,12 @@ type Deployment struct {
 	// costless — unless Cfg.EnableTxn.
 	Txns *txn.Store
 
+	// Obs is the telemetry hub: the request tracer and the component
+	// metrics registry. Always non-nil; the tracer and the registry's
+	// hot-path instruments record only when Cfg.Telemetry is set, while
+	// gauges (the AutoShard monitor's queue-depth signals) always work.
+	Obs *obs.Hub
+
 	// Caches holds one regional cache node per user store (aligned with
 	// Stores); empty when CacheMode is CacheOff.
 	Caches []*cache.Regional
@@ -372,10 +389,12 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 		phases:   map[string]*stats.Sample{},
 		lastSeq:  map[string]int64{},
 	}
+	d.Obs = obs.NewHub(k, cfg.Telemetry)
 	d.System.SetCostCategory("syskv")
 	d.Locks = fksync.NewLockManager(env, d.System, cfg.LockLease)
 	d.Txns = txn.NewStore(d.System, k)
 	d.Txns.SetWireCodec(cfg.codec)
+	d.Txns.SetMetrics(d.Obs.Metrics)
 
 	regions := append([]cloud.Region{cfg.Profile.Home}, cfg.ExtraRegions...)
 	for _, r := range regions {
@@ -593,10 +612,12 @@ func (d *Deployment) PhaseNames() []string {
 	return names
 }
 
-// ResetMetrics clears the cost meter and phase samples (used after warmup).
+// ResetMetrics clears the cost meter, phase samples, and telemetry
+// spans/instruments (used after warmup).
 func (d *Deployment) ResetMetrics() {
 	d.Env.Meter.Reset()
 	d.phases = map[string]*stats.Sample{}
+	d.Obs.Reset()
 }
 
 // RegisterSession writes the session record; the client library calls this

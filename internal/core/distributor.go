@@ -37,6 +37,7 @@ import (
 	"faaskeeper/internal/cache"
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/znode"
 )
@@ -275,6 +276,14 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 		d.recordPhase("leader.commit", d.K.Now()-t0)
 	}
 
+	// Every committed message's chain enters the flush stage together: the
+	// batch-level distribution serves all of them at once (its region legs
+	// are recorded as trace-0 pipeline spans inside distributeFold).
+	for _, r := range results {
+		if !r.drop && !r.dereg && r.code == CodeOK {
+			d.stageMsg(r.msg, obs.StageFlush)
+		}
+	}
 	t0 := d.K.Now()
 	d.distributeFold(ctx, fold, epochs, false)
 	d.recordPhase("leader.update", d.K.Now()-t0)
@@ -298,8 +307,9 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 			payload := watchPayload{
 				WatchID: fw.wid, Event: fw.event, Path: fw.path, Txid: r.txid, Sessions: fw.sessions,
 			}
+			sp := d.tspan(d.msgTrace(r.msg), obs.SpanWatchDeliver, fw.path, r.msg.Shard, "")
 			fut := d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload))
-			completions = append(completions, watchCompletion{wid: fw.wid, fut: fut})
+			completions = append(completions, watchCompletion{wid: fw.wid, fut: fut, span: sp})
 		}
 		tn := d.K.Now()
 		d.notifyResult(r.msg, r.txid, r.code, r.stat)
@@ -325,6 +335,7 @@ func (d *Deployment) commitOne(ctx cloud.Ctx, dm decodedMsg, fold *batchFold, la
 		return opResult{msg: msg, txid: txid, dereg: true}
 	}
 	later[msg.Path]--
+	d.stageMsg(msg, obs.StageCommit)
 	t0 := d.K.Now()
 	node, committed := d.awaitCommit(ctx, msg, txid)
 	d.recordPhase("leader.get", d.K.Now()-t0)
@@ -448,12 +459,18 @@ func (d *Deployment) distributeFold(ctx cloud.Ctx, fold *batchFold, epochs map[c
 			// One coalesced record per touched path, published before any
 			// of the batch's writes become readable in this region.
 			if rc := d.CacheFor(s.Region()); rc != nil {
+				// Batch legs serve many requests at once: recorded as
+				// trace-0 pipeline spans rather than per-request children.
+				tsp := d.tspan(0, obs.SpanCacheInval, "", -1, string(s.Region()))
 				sp := invSlicePool.Get().(*[]cache.Invalidation)
 				invs := fold.appendInvalidations((*sp)[:0], sharedPFs, stamp, d.cacheMapEpoch())
 				rc.InvalidateBatch(ctx, invs)
 				*sp = invs[:0]
 				invSlicePool.Put(sp)
+				d.spanEnd(tsp)
 			}
+			tsp := d.tspan(0, obs.SpanStoreWrite, "", -1, string(s.Region()))
+			defer d.spanEnd(tsp)
 			if aa, atomic := s.(AtomicApplier); atomicApply && atomic {
 				writes := make([]BatchWrite, 0, len(fold.order))
 				for _, p := range fold.order {

@@ -9,6 +9,7 @@ import (
 	"faaskeeper/internal/cloud/kv"
 	"faaskeeper/internal/cloud/queue"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/wire"
 	"faaskeeper/internal/znode"
@@ -41,6 +42,7 @@ func (d *Deployment) processRequest(ctx cloud.Ctx, req Request) error {
 	if req.Seq > 0 && d.lastSeq[req.Session] >= req.Seq {
 		return nil
 	}
+	d.stageReq(req, obs.StageValidate)
 	t0 := d.K.Now()
 	var err error
 	switch req.Op {
@@ -82,7 +84,15 @@ func (d *Deployment) retryStale(ctx cloud.Ctx, req Request, fn func(cloud.Ctx, R
 	}
 	var err error
 	for attempt := 0; attempt <= staleRouteRetries; attempt++ {
+		if attempt > 0 {
+			// The retry stage spans the migration-gate wait; the chain then
+			// re-enters validation against the refreshed map.
+			d.stageReq(req, obs.StageRetry)
+		}
 		d.awaitRoutable(ctx, req.Path)
+		if attempt > 0 {
+			d.stageReq(req, obs.StageValidate)
+		}
 		err = fn(ctx, req)
 		if !errors.Is(err, errStaleRoute) {
 			return err
@@ -95,6 +105,7 @@ func (d *Deployment) retryStale(ctx cloud.Ctx, req Request, fn func(cloud.Ctx, R
 // respondFailure notifies the client directly from the follower; rejected
 // requests never reach the leader (Algorithm 1, ②).
 func (d *Deployment) respondFailure(req Request, code Code) {
+	d.stageReq(req, obs.StageRespond)
 	resp := Response{Session: req.Session, Seq: req.Seq, Code: code, Path: req.Path}
 	d.notify(req.Session, resp, resp.wireSize())
 }
@@ -152,11 +163,13 @@ func (d *Deployment) followerSetData(ctx cloud.Ctx, req Request) error {
 		kv.ListAppend{Name: attrPending, Vals: []int64{r.txid}},
 	}
 	t0 := d.K.Now()
+	sp := d.reqSpan(req, obs.SpanFollowerCommit, r.shard)
 	if guard := d.dynGuard(r.shard, r.gen); guard != nil {
 		err = d.Locks.CommitUnlockTxGuard(ctx, []fksync.TxPart{{Lock: lock, Updates: ups}}, guard)
 	} else {
 		_, err = d.Locks.CommitUnlock(ctx, lock, ups)
 	}
+	d.spanEnd(sp)
 	d.recordPhase("follower.commit", d.K.Now()-t0)
 	if err != nil {
 		if d.staleRoutedCommit(ctx, r.shard, r.gen) {
@@ -254,10 +267,12 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 	// ④ A multi-node commit: the new node and its parent fail or succeed
 	// together (Section 3.1).
 	t0 := d.K.Now()
+	sp := d.reqSpan(req, obs.SpanFollowerCommit, r.shard)
 	err = d.Locks.CommitUnlockTxGuard(ctx, []fksync.TxPart{
 		{Lock: nodeLock, Updates: createNodeUpdates(txid, owner)},
 		{Lock: parentLock, Updates: createParentUpdates(name, txid)},
 	}, d.dynGuard(r.shard, r.gen))
+	d.spanEnd(sp)
 	d.recordPhase("follower.commit", d.K.Now()-t0)
 	if err != nil {
 		if d.staleRoutedCommit(ctx, r.shard, r.gen) {
@@ -370,10 +385,12 @@ func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) (int, error) {
 		return r.shard, errInjectedCrash
 	}
 	t0 := d.K.Now()
+	sp := d.reqSpan(req, obs.SpanFollowerCommit, r.shard)
 	err = d.Locks.CommitUnlockTxGuard(ctx, []fksync.TxPart{
 		{Lock: nodeLock, Updates: deleteNodeUpdates(txid)},
 		{Lock: parentLock, Updates: deleteParentUpdates(name, txid)},
 	}, d.dynGuard(r.shard, r.gen))
+	d.spanEnd(sp)
 	d.recordPhase("follower.commit", d.K.Now()-t0)
 	if err != nil {
 		if d.staleRoutedCommit(ctx, r.shard, r.gen) {
@@ -530,6 +547,9 @@ func (d *Deployment) pushToShard(ctx cloud.Ctx, msg leaderMsg) (routed, error) {
 	d.recordPhase("follower.push", d.K.Now()-t0)
 	if errors.Is(err, queue.ErrTooLarge) {
 		return routed{shard: msg.Shard, gen: dynGen(msg)}, errMsgTooLarge
+	}
+	if err == nil {
+		d.stageMsg(msg, obs.StageLeaderQ)
 	}
 	if err == nil && msg.Seq > 0 && msg.Op != OpDeregister && msg.Op != OpTxnCommit {
 		// Once pushed, the leader will complete (or TryCommit) this

@@ -9,6 +9,7 @@ import (
 	"faaskeeper/internal/cloud/faas"
 	"faaskeeper/internal/cloud/kv"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/znode"
@@ -22,6 +23,9 @@ import (
 type watchCompletion struct {
 	wid int64
 	fut *sim.Future[error]
+	// span is the delivery's telemetry child span (0 with telemetry off),
+	// opened at InvokeAsync and closed when the completion is reaped.
+	span int64
 }
 
 // decodedMsg is one peeled leader-queue message with its derived txid.
@@ -119,6 +123,7 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 	// returns, and its id leaves the epoch counter (➏).
 	for _, c := range completions {
 		_ = c.fut.Wait()
+		d.spanEnd(c.span)
 		for _, s := range d.Stores {
 			r := s.Region()
 			_, err := d.System.Update(ctx, epochKey(r, shard),
@@ -154,6 +159,7 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 	// ➊ Fetch the node's control record and verify our transaction is the
 	// head of its pending list (➋ trying to commit on behalf of a crashed
 	// follower when it is not).
+	d.stageMsg(msg, obs.StageCommit)
 	t0 := d.K.Now()
 	node, committed := d.awaitCommit(ctx, msg, txid)
 	d.recordPhase("leader.get", d.K.Now()-t0)
@@ -187,6 +193,7 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 
 	// ➌ Distribute the change to the user stores of every region in
 	// parallel, stamped with that region's in-flight watch ids.
+	d.stageMsg(msg, obs.StageFlush)
 	t0 = d.K.Now()
 	stat := d.updateUserStores(ctx, msg, txid, node, epochs)
 	d.recordPhase("leader.update", d.K.Now()-t0)
@@ -208,8 +215,9 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 		payload := watchPayload{
 			WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions,
 		}
+		sp := d.tspan(d.msgTrace(msg), obs.SpanWatchDeliver, f.path, msg.Shard, "")
 		fut := d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload))
-		comps = append(comps, watchCompletion{wid: f.wid, fut: fut})
+		comps = append(comps, watchCompletion{wid: f.wid, fut: fut, span: sp})
 	}
 
 	// Notify the client of success.
@@ -435,6 +443,7 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 		d.refreshSharedFromSystem(ctx, msg.Path, newNode)
 	}
 
+	tr := d.msgTrace(msg)
 	wg := sim.NewWaitGroup(d.K)
 	for _, s := range d.Stores {
 		s := s
@@ -450,14 +459,18 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 			// cache). A read in the window between the two sees exactly
 			// what the direct path would: the store's current value.
 			if rc := d.CacheFor(s.Region()); rc != nil {
+				sp := d.tspan(tr, obs.SpanCacheInval, msg.Path, msg.Shard, string(s.Region()))
 				rc.Invalidate(ctx, d.cacheInv(msg.Path, txid, stamp))
+				d.spanEnd(sp)
 			}
+			sp := d.tspan(tr, obs.SpanStoreWrite, msg.Path, msg.Shard, string(s.Region()))
 			switch msg.Op {
 			case OpDelete:
 				_ = s.Delete(ctx, msg.Path)
 			default:
 				_ = s.Write(ctx, newNode, stamp)
 			}
+			d.spanEnd(sp)
 			// Creates and deletes also change the parent's child list,
 			// which lives in the parent's node object: a read-modify-write
 			// cycle, because object stores lack partial updates
@@ -675,6 +688,7 @@ func (d *Deployment) queryWatches(ctx cloud.Ctx, msg leaderMsg) []firedWatch {
 }
 
 func (d *Deployment) notifyResult(msg leaderMsg, txid int64, code Code, stat znode.Stat) {
+	d.stageMsg(msg, obs.StageRespond)
 	resp := Response{
 		Session: msg.Session, Seq: msg.Seq, Code: code, Path: msg.Path,
 		Stat: stat, Txid: txid,

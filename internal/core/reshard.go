@@ -49,6 +49,7 @@ import (
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/kv"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/wire"
@@ -307,9 +308,21 @@ func (d *Deployment) autoShardMonitor() {
 	for {
 		d.K.Sleep(pol.Interval)
 		m := d.mapView()
+		// Publish every shard's sampled depth into the metrics registry
+		// (gauges record regardless of Config.Telemetry), then make every
+		// decision below from the gauges — the exported telemetry always
+		// shows exactly the signal the policy acted on.
+		for s := 0; s < len(d.LeaderQs); s++ {
+			d.Obs.Metrics.SetGauge(
+				obs.Key{Component: "leader", Name: "queue_depth", Shard: s},
+				int64(d.LeaderQs[s].Len()))
+		}
+		depth := func(s int) int64 {
+			return d.Obs.Metrics.Gauge(obs.Key{Component: "leader", Name: "queue_depth", Shard: s})
+		}
 		acted := false
 		for s := 0; s < m.Queues && s < len(d.LeaderQs); s++ {
-			if d.LeaderQs[s].Len() >= pol.SplitDepth {
+			if depth(s) >= int64(pol.SplitDepth) {
 				hotStreak[s]++
 			} else {
 				hotStreak[s] = 0
@@ -334,7 +347,7 @@ func (d *Deployment) autoShardMonitor() {
 			for _, sp := range m.Splits {
 				idle := true
 				for _, s := range sp.Shards {
-					if s < len(d.LeaderQs) && d.LeaderQs[s].Len() > 0 {
+					if s < len(d.LeaderQs) && depth(s) > 0 {
 						idle = false
 						break
 					}

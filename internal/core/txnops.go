@@ -46,6 +46,7 @@ import (
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/kv"
 	"faaskeeper/internal/fksync"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/txn"
@@ -586,6 +587,7 @@ func (d *Deployment) planWentStale(ctx cloud.Ctx, plan *multiPlan) bool {
 // op carries its own code, the siblings report the rollback. failIdx < 0
 // marks a recovery answer where the failing op is no longer known.
 func (d *Deployment) respondMultiAbort(req Request, reqOps []txn.Op, failIdx int, code Code) {
+	d.stageReq(req, obs.StageRespond)
 	results := make([]txn.Result, len(reqOps))
 	for i, op := range reqOps {
 		r := txn.Result{Type: op.Type, Path: op.Path, Code: txn.CodeAborted}
@@ -600,6 +602,7 @@ func (d *Deployment) respondMultiAbort(req Request, reqOps []txn.Op, failIdx int
 
 // notifyMulti answers a committed multi() with its per-op results.
 func (d *Deployment) notifyMulti(req Request, results []txn.Result, commits map[int]int64) {
+	d.stageReq(req, obs.StageRespond)
 	var maxTxid int64
 	for _, t := range commits {
 		if t > maxTxid {
@@ -725,7 +728,13 @@ func (d *Deployment) followerMulti(ctx cloud.Ctx, req Request) error {
 		// than queue position — so multis simply wait out any in-flight
 		// migration instead of gating per path (the reshard engine in
 		// turn waits for live transactions to finish before draining).
+		if attempt > 0 {
+			d.stageReq(req, obs.StageRetry)
+		}
 		d.awaitTxnRoutable(ctx)
+		if attempt > 0 {
+			d.stageReq(req, obs.StageValidate)
+		}
 		route, _ := d.routeFn()
 		shards, _ := txn.Route(reqOps, route)
 		if len(shards) == 1 {
@@ -791,8 +800,11 @@ func (d *Deployment) multiFastPath(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 	shard := shards[0]
 	msg := leaderMsg{
 		Session: req.Session, Seq: req.Seq, Op: OpMulti, Shard: shard,
-		Path:     anchorPath(plan.resolved, shard),
-		NodeBlob: d.encodeTxnMsgOwned(txnMsg{Ops: plan.resolved, ItemPaths: plan.order, LockTs: plan.lockTs()}),
+		Path: anchorPath(plan.resolved, shard),
+		NodeBlob: d.encodeTxnMsgOwned(txnMsg{
+			Ops: plan.resolved, ItemPaths: plan.order, LockTs: plan.lockTs(),
+			traceID: obs.TraceOf(req.Session, req.Seq),
+		}),
 	}
 	if plan.mv != nil {
 		// Route with the plan's snapshot, not the live view: the commit
@@ -823,7 +835,9 @@ func (d *Deployment) multiFastPath(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 		parts = append(parts, fksync.TxPart{Lock: plan.items[p].lock, Updates: ups[p]})
 	}
 	t0 := d.K.Now()
+	sp := d.reqSpan(req, obs.SpanFollowerCommit, r.shard)
 	err = d.Locks.CommitUnlockTxGuard(ctx, parts, d.dynGuard(r.shard, r.gen))
+	d.spanEnd(sp)
 	d.recordPhase("follower.commit", d.K.Now()-t0)
 	if err != nil {
 		if d.staleRoutedCommit(ctx, r.shard, r.gen) {
@@ -849,6 +863,7 @@ func (d *Deployment) multiTwoPhase(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 		d.respondFailure(req, CodeSystemError)
 		return nil
 	}
+	d.stageReq(req, obs.StageTxnPrep)
 	plan, failIdx, code, err := d.prepareMulti(ctx, req, reqOps)
 	if err != nil || failIdx >= 0 {
 		_ = d.Txns.Decide(ctx, id, txn.StatusPreparing, txn.StatusAborted, nil)
@@ -874,6 +889,8 @@ func (d *Deployment) multiTwoPhase(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 		wg.Add(1)
 		d.K.Go("txn-prepare", func() {
 			defer wg.Done()
+			vsp := d.reqSpan(req, obs.SpanTxnVote, s)
+			defer d.spanEnd(vsp)
 			verdict := "ok"
 			for _, it := range items {
 				var err error
@@ -933,6 +950,7 @@ func (d *Deployment) multiTwoPhase(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 // is conditional on record or item state, so partial progress by a
 // crashed predecessor is absorbed, never double-applied.
 func (d *Deployment) txnCommitDrive(ctx cloud.Ctx, req Request, id int64, resolved []txn.ResolvedOp, prior *txn.Record, repush bool) error {
+	d.stageReq(req, obs.StageTxnCommit)
 	t0 := d.K.Now()
 	shards := effectfulShards(resolved)
 	commits := map[int]int64{}
@@ -950,8 +968,11 @@ func (d *Deployment) txnCommitDrive(ctx cloud.Ctx, req Request, id int64, resolv
 		}
 		msg := leaderMsg{
 			Session: req.Session, Seq: req.Seq, Op: OpTxnCommit, Shard: s,
-			Path:     anchorPath(resolved, s),
-			NodeBlob: d.encodeTxnMsgOwned(txnMsg{ID: id, Ops: resolvedOfShard(resolved, s)}),
+			Path: anchorPath(resolved, s),
+			NodeBlob: d.encodeTxnMsgOwned(txnMsg{
+				ID: id, Ops: resolvedOfShard(resolved, s),
+				traceID: obs.TraceOf(req.Session, req.Seq),
+			}),
 		}
 		if d.dyn != nil {
 			// Stamp the txid base so the shard's leader derives the same
@@ -987,6 +1008,7 @@ func (d *Deployment) txnCommitDrive(ctx cloud.Ctx, req Request, id int64, resolv
 	}
 	// Atomic apply: one coalesced cache invalidation, then every
 	// user-store write of the transaction in one batch.
+	d.stageReq(req, obs.StageTxnApply)
 	results := d.applyTxn(ctx, resolved, commits)
 	_ = d.Txns.Decide(ctx, id, txn.StatusCommitted, txn.StatusApplied, nil)
 	// Only now release the intents: conflicting writers were fenced until
@@ -1202,6 +1224,7 @@ func (d *Deployment) tryCommitTxn(ctx cloud.Ctx, op OpCode, tm txnMsg, txid int6
 // multi-item commit, pre-fire watches, fold the whole transaction, and
 // distribute it atomically within the shard's serialized pipeline.
 func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, txid int64, epochs map[cloud.Region][]int64) []watchCompletion {
+	d.stageMsg(msg, obs.StageCommit)
 	t0 := d.K.Now()
 	states, ok := d.awaitTxnHeads(ctx, msg.Op, tm, txid, msg.Shard, dynGen(msg))
 	d.recordPhase("leader.get", d.K.Now()-t0)
@@ -1227,6 +1250,7 @@ func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg,
 	d.recordPhase("leader.watchquery", d.K.Now()-t0)
 
 	fold, results := d.buildTxnFold(ctx, tm.Ops, func(int) int64 { return txid }, states)
+	d.stageMsg(msg, obs.StageFlush)
 	t0 = d.K.Now()
 	d.distributeFold(ctx, fold, epochs, true)
 	d.recordPhase("leader.update", d.K.Now()-t0)
@@ -1234,8 +1258,9 @@ func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg,
 	var comps []watchCompletion
 	for _, f := range fired {
 		payload := watchPayload{WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions}
+		sp := d.tspan(d.msgTrace(msg), obs.SpanWatchDeliver, f.path, msg.Shard, "")
 		fut := d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload))
-		comps = append(comps, watchCompletion{wid: f.wid, fut: fut})
+		comps = append(comps, watchCompletion{wid: f.wid, fut: fut, span: sp})
 	}
 
 	// Pop each target's single pending entry; deleted nodes may be
@@ -1249,6 +1274,7 @@ func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg,
 		d.popPending(ctx, leaderMsg{Op: op, Path: p}, txid, true)
 	}
 	fold.release()
+	d.stageMsg(msg, obs.StageRespond)
 	resp := Response{
 		Session: msg.Session, Seq: msg.Seq, Code: CodeOK, Path: msg.Path,
 		Txid: txid, MultiResults: results,
@@ -1276,12 +1302,17 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 	if t, ok := rec.Commits[msg.Shard]; ok {
 		txid = t // a re-pushed message: the first push's txid is authoritative
 	}
+	// The shard's whole commit phase is one child span of the originating
+	// multi()'s tree (msgTrace resolves OpTxnCommit to that trace): the
+	// per-shard legs of a cross-shard 2PC show up side by side.
+	ssp := d.tspan(d.msgTrace(msg), obs.SpanTxnShard, msg.Path, msg.Shard, "")
 	t0 := d.K.Now()
 	_, ok := d.awaitTxnHeads(ctx, msg.Op, tm, txid, msg.Shard, dynGen(msg))
 	d.recordPhase("leader.get", d.K.Now()-t0)
 	if !ok {
 		// The coordinator died before its commit write and the intent
 		// replay could not land; redelivery will re-drive us.
+		d.spanEnd(ssp)
 		return nil
 	}
 	t0 = d.K.Now()
@@ -1302,6 +1333,7 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 		d.popPending(ctx, leaderMsg{Op: OpSetData, Path: p}, txid, false)
 	}
 	_, _ = d.Txns.Ready(ctx, tm.ID, msg.Shard)
+	d.spanEnd(ssp)
 	if len(fired) > 0 {
 		// One post-apply delivery batch for the whole shard: a single
 		// goroutine polls the record once (instead of one poller per
@@ -1313,6 +1345,7 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 		// its delivery completes), a per-shard-constant number of epoch
 		// writes for watch-heavy transactional workloads.
 		fired := fired
+		tr := d.msgTrace(msg)
 		d.txnWatchBatches++
 		d.txnWatchDeliveries += int64(len(fired))
 		d.K.Go("txn-watch-batch", func() {
@@ -1328,13 +1361,16 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 			}
 			futs := make([]*sim.Future[error], 0, len(fired))
 			wids := make([]int64, 0, len(fired))
+			spans := make([]int64, 0, len(fired))
 			for _, f := range fired {
 				payload := watchPayload{WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions}
+				spans = append(spans, d.tspan(tr, obs.SpanWatchDeliver, f.path, msg.Shard, ""))
 				futs = append(futs, d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload)))
 				wids = append(wids, f.wid)
 			}
-			for _, fut := range futs {
+			for i, fut := range futs {
 				_ = fut.Wait()
+				d.spanEnd(spans[i])
 			}
 			for _, s := range d.Stores {
 				_, _ = d.System.Update(ctx, epochKey(s.Region(), msg.Shard),

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/txn"
 	"faaskeeper/internal/znode"
 )
@@ -121,6 +122,22 @@ type Request struct {
 	Data    []byte
 	Version int32 // expected version; -1 matches any
 	Flags   znode.Flags
+
+	// traceID is the request's causal trace id (package obs). Unexported:
+	// gob skips it, so the descriptor — and the golden trace — stays
+	// byte-identical. The binary codec carries it as a first-class trailing
+	// field, and any stage can recompute it from (Session, Seq).
+	traceID int64
+}
+
+// trace returns the causal trace id: the decoded wire field when present,
+// else re-minted from (Session, Seq) — deterministic, so every pipeline
+// stage derives the same id without any wire support.
+func (r Request) trace() int64 {
+	if r.traceID != 0 {
+		return r.traceID
+	}
+	return obs.TraceOf(r.Session, r.Seq)
 }
 
 // Encode serializes the request for the cloud queue.
@@ -172,6 +189,18 @@ type leaderMsg struct {
 	Cversion int32 // parent's new child version
 
 	EphOwner string
+
+	// traceID mirrors Request.traceID across the follower→leader hop (see
+	// there); unexported for the same gob-descriptor reason.
+	traceID int64
+}
+
+// trace is leaderMsg's Request.trace counterpart.
+func (m leaderMsg) trace() int64 {
+	if m.traceID != 0 {
+		return m.traceID
+	}
+	return obs.TraceOf(m.Session, m.Seq)
 }
 
 // txnMsg is the transaction payload an OpMulti or OpTxnCommit leader
@@ -188,6 +217,12 @@ type txnMsg struct {
 	Ops       []txn.ResolvedOp
 	ItemPaths []string
 	LockTs    []int64
+
+	// traceID is the originating multi() request's causal trace id, set at
+	// construction (txnMsg has no Session/Seq of its own to re-mint it
+	// from). Unexported and always set deterministically, so the binary
+	// encoding is identical whether telemetry is on or off.
+	traceID int64
 }
 
 func (m txnMsg) encode() []byte {

@@ -41,6 +41,10 @@ func (r Request) EncodeWith(c wire.Codec, e *wire.Encoder) []byte {
 	e.Bytes(r.Data)
 	e.Varint(int64(r.Version))
 	e.Byte(byte(r.Flags))
+	// Trailing causal trace id (package obs), always written: re-minted
+	// from (Session, Seq) when unset, so the bytes never depend on whether
+	// telemetry is enabled.
+	e.Varint(r.trace())
 	return e.Data()
 }
 
@@ -61,6 +65,7 @@ func decodeRequestWith(c wire.Codec, b []byte) (Request, error) {
 		Data:    d.Bytes(),
 		Version: int32(d.Varint()),
 		Flags:   znode.Flags(d.Byte()),
+		traceID: d.Varint(),
 	}
 	return r, d.Err()
 }
@@ -88,6 +93,7 @@ func (m leaderMsg) encodeWith(c wire.Codec, e *wire.Encoder) []byte {
 	e.Varint(int64(m.Version))
 	e.Varint(int64(m.Cversion))
 	e.String(m.EphOwner)
+	e.Varint(m.trace()) // trailing trace id, same rule as Request
 	return e.Data()
 }
 
@@ -117,6 +123,7 @@ func decodeLeaderMsgWith(c wire.Codec, b []byte) (leaderMsg, error) {
 		Version:      int32(d.Varint()),
 		Cversion:     int32(d.Varint()),
 		EphOwner:     d.String(),
+		traceID:      d.Varint(),
 	}
 	return m, d.Err()
 }
@@ -132,6 +139,7 @@ func (m txnMsg) encodeWith(c wire.Codec, e *wire.Encoder) []byte {
 	txn.AppendResolvedOps(e, m.Ops)
 	e.Strings(m.ItemPaths)
 	e.Int64s(m.LockTs)
+	e.Varint(m.traceID) // set at construction; 0 only in hand-built fixtures
 	return e.Data()
 }
 
@@ -149,6 +157,7 @@ func decodeTxnMsgWith(c wire.Codec, b []byte) (txnMsg, error) {
 		Ops:       txn.ReadResolvedOps(&d),
 		ItemPaths: d.Strings(),
 		LockTs:    d.Int64s(),
+		traceID:   d.Varint(),
 	}
 	return m, d.Err()
 }

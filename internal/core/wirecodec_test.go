@@ -63,10 +63,14 @@ func testWatchPayloads() []watchPayload {
 
 // normalize maps nil and empty slices to a canonical form so gob's
 // nil-for-empty decoding compares equal to the binary decoder's output.
+// The trace id is zeroed: the binary wire carries it as a trailing field
+// (re-minted from Session/Seq when unset), while gob — which skips
+// unexported fields — leaves re-derivation to the receiver.
 func normReq(r Request) Request {
 	if len(r.Data) == 0 {
 		r.Data = nil
 	}
+	r.traceID = 0
 	return r
 }
 
@@ -74,6 +78,7 @@ func normLM(m leaderMsg) leaderMsg {
 	if len(m.NodeBlob) == 0 {
 		m.NodeBlob = nil
 	}
+	m.traceID = 0
 	return m
 }
 
@@ -92,6 +97,7 @@ func normTM(m txnMsg) txnMsg {
 	if len(m.LockTs) == 0 {
 		m.LockTs = nil
 	}
+	m.traceID = 0
 	return m
 }
 

@@ -240,11 +240,12 @@ func runBatching(cfg RunConfig) *Report {
 					hotOn = run
 				}
 			}
+			p50, p99 := latCells(run.lat, f1)
 			s.AddRow(v.label,
 				f1(tput), speedup,
 				f2(float64(run.storeWrites)/float64(run.writes)),
 				f2(run.leaderUpd/float64(run.writes)),
-				f1(run.lat.Percentile(50)), f1(run.lat.Percentile(99)),
+				p50, p99,
 				dollars(run.cost/float64(run.writes)*1e6),
 				fmt.Sprintf("%d", run.viol))
 		}

@@ -213,9 +213,10 @@ func runCaching(cfg RunConfig) *Report {
 			cachedMean = mean
 			cachedHit = run.hitRatio()
 		}
+		p50, p99 := latCells(run.lat, f2)
 		s.AddRow(v.label,
 			f1(run.hitRatio()*100),
-			f2(mean), f2(run.lat.Percentile(50)), f2(run.lat.Percentile(99)),
+			f2(mean), p50, p99,
 			dollars(cachingDollarsPer1M(m, run, v.perOpFree, v.vmNodes)),
 			fmt.Sprintf("%d", run.z3Viol))
 	}

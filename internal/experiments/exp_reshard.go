@@ -171,11 +171,13 @@ func runReshard(cfg RunConfig) *Report {
 	if pre.throughput() > 0 {
 		ratio = fmt.Sprintf("%.2fx", post.throughput()/pre.throughput())
 	}
+	preP50, preP99 := latCells(pre.lat, f1)
+	postP50, postP99 := latCells(post.lat, f1)
 	s.AddRow("pre-split (/hot pinned on 1 of 2 queues)", f1(pre.throughput()), "1.00x",
-		f1(pre.lat.Percentile(50)), f1(pre.lat.Percentile(99)),
+		preP50, preP99,
 		fmt.Sprintf("%d", ba.violations), fmt.Sprintf("%d", ba.lost))
 	s.AddRow("post-split (/hot over 4 queues)", f1(post.throughput()), ratio,
-		f1(post.lat.Percentile(50)), f1(post.lat.Percentile(99)),
+		postP50, postP99,
 		fmt.Sprintf("%d", ba.violations), fmt.Sprintf("%d", ba.lost))
 
 	// The split landing mid-workload: writers never pause; the gate holds

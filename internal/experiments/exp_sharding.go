@@ -182,9 +182,9 @@ func runSharding(cfg RunConfig) *Report {
 			if base > 0 {
 				speedup = fmt.Sprintf("%.2fx", tput/base)
 			}
+			p50, p99 := latCells(run.lat, f1)
 			s.AddRow(fmt.Sprintf("%d", n),
-				f1(tput), speedup,
-				f1(run.lat.Percentile(50)), f1(run.lat.Percentile(99)),
+				f1(tput), speedup, p50, p99,
 				dollars(run.cost/float64(run.writes)*1000))
 		}
 	}

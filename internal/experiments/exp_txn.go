@@ -252,17 +252,18 @@ func runTxn(cfg RunConfig) *Report {
 		if spread == 1 {
 			path = "fast path"
 		}
+		p50, p99 := latCells(run.lat, f1)
 		s.AddRow(fmt.Sprintf("%d", spread), path,
 			f1(run.throughput()),
-			f1(run.lat.Percentile(50)), f1(run.lat.Percentile(99)),
+			p50, p99,
 			fmt.Sprintf("$%.6f", run.cost/float64(run.txns)),
 			fmt.Sprintf("$%.6f", m.TxnCost(spread, spread, txnPayloadB, false)),
 			fmt.Sprintf("%.2fx", m.TxnOverhead(spread, spread, txnPayloadB, false)))
 	}
 	zkLat := runZKMultiBaseline(cfg.Seed+11, 2, ops)
 	if zkLat.N() > 0 {
-		s.AddRow("2 (zk baseline)", "ZAB multi", "-",
-			f1(zkLat.Percentile(50)), f1(zkLat.Percentile(99)), "-", "-", "-")
+		p50, p99 := latCells(zkLat, f1)
+		s.AddRow("2 (zk baseline)", "ZAB multi", "-", p50, p99, "-", "-", "-")
 	}
 
 	s2 := r.AddSection(

@@ -12,6 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
 		"tab3", "fig11", "fig12", "fig13", "tab4", "fig14", "sec532x",
 		"ablations", "sharding", "caching", "batching", "txn", "reshard",
+		"telemetry",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -505,5 +506,48 @@ func TestTxnCommitLatencyAndAtomicity(t *testing.T) {
 		if row[4] != "0" {
 			t.Errorf("shards=%s: partial commits reported: %s", row[0], row[4])
 		}
+	}
+}
+
+func TestTelemetryBreakdownValid(t *testing.T) {
+	rep := runQuick(t, "telemetry")
+	if len(rep.Sections) != 3 {
+		t.Fatalf("expected shard, batch, and class sections, got %d", len(rep.Sections))
+	}
+	// Shard and batch sweeps: stage sums must telescope to end-to-end and
+	// the exported Chrome trace must carry the expected stage names.
+	for _, sec := range rep.Sections[:2] {
+		for _, row := range sec.Rows {
+			n := len(row)
+			if row[n-2] != "yes" || row[n-1] != "yes" {
+				t.Errorf("%s: stage-sum/chrome check failed: %v", row[0], row)
+			}
+		}
+	}
+	// Every request class (plain, batched, cross-shard txn, mid-reshard)
+	// must leave zero open spans and zero invariant violations.
+	if got := len(rep.Sections[2].Rows); got != 4 {
+		t.Fatalf("expected 4 request classes, got %d", got)
+	}
+	for _, row := range rep.Sections[2].Rows {
+		if row[3] != "0" || row[4] != "0" {
+			t.Errorf("class %s: open=%s violations=%s", row[0], row[3], row[4])
+		}
+		if row[5] != "yes" || row[6] != "yes" {
+			t.Errorf("class %s: stage-sum/chrome check failed: %v", row[0], row)
+		}
+	}
+	// Deeper sharding must shrink the queueing stage mean: the whole point
+	// of the breakdown is attributing the speedup to the right stage.
+	q := map[string]float64{}
+	for _, row := range rep.Sections[0].Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad queueing mean in %v", row)
+		}
+		q[row[0]] = v
+	}
+	if !(q["4 shards"] < q["1 shards"]) {
+		t.Errorf("queueing mean should drop with shards: %v", q)
 	}
 }

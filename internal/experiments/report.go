@@ -170,3 +170,9 @@ func sizeLabel(b int) string {
 func sumRow(label string, sub string, s stats.Summary) []string {
 	return []string{label, sub, f2(s.Min), f2(s.P50), f2(s.P95), f2(s.P99), f2(s.Max)}
 }
+
+// latCells renders the "p50 ms"/"p99 ms" column pair every latency table
+// shares; f selects the precision the table uses (f1 or f2).
+func latCells(s *stats.Sample, f func(float64) string) (p50, p99 string) {
+	return f(s.Percentile(50)), f(s.Percentile(99))
+}

@@ -15,6 +15,7 @@ import (
 	"faaskeeper/internal/cache"
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/core"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/shardmap"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/txn"
@@ -206,7 +207,12 @@ func (c *Client) senderLoop() {
 			op.done.TryComplete(core.Response{
 				Session: c.id, Seq: op.req.Seq, Code: core.CodeSystemError,
 			})
+			// The request never reached the pipeline: close its chain here,
+			// since no response will travel back through onResponse.
+			c.traceFinish(op.req)
+			continue
 		}
+		c.traceStage(op.req, obs.StageQueue)
 	}
 }
 
@@ -293,6 +299,7 @@ func (c *Client) onResponse(r core.Response) {
 		}
 		c.refreshMap(resp.MapEpoch)
 		op.done.TryComplete(resp)
+		c.traceFinish(op.req)
 	}
 }
 
@@ -437,6 +444,31 @@ func (c *Client) onNotification(n core.Notification) {
 	}
 }
 
+// Causal-trace hooks (package obs). The client mints the trace id from
+// (session, seq) — the same derivation every pipeline stage repeats — and
+// owns the chain's two endpoints: the root span opens at submission and
+// closes when the ordered response releases. Deregistrations are excluded
+// (their fan-out acks don't follow the one-request-one-chain shape), and
+// with telemetry off each hook is a single nil-safe boolean check.
+
+func (c *Client) traceStart(req core.Request) {
+	if t := c.d.Obs.Tracer; t.Enabled() && req.Op != core.OpDeregister {
+		t.StartRequest(obs.TraceOf(req.Session, req.Seq), string(req.Op), req.Path)
+	}
+}
+
+func (c *Client) traceStage(req core.Request, stage string) {
+	if t := c.d.Obs.Tracer; t.Enabled() && req.Op != core.OpDeregister {
+		t.Stage(obs.TraceOf(req.Session, req.Seq), stage)
+	}
+}
+
+func (c *Client) traceFinish(req core.Request) {
+	if t := c.d.Obs.Tracer; t.Enabled() && req.Op != core.OpDeregister {
+		t.Finish(obs.TraceOf(req.Session, req.Seq))
+	}
+}
+
 // submitWrite queues a request and returns its completion future.
 func (c *Client) submitWrite(op core.OpCode, path string, data []byte, version int32, flags znode.Flags) *sim.Future[core.Response] {
 	c.nextSeq++
@@ -451,6 +483,7 @@ func (c *Client) submitWrite(op core.OpCode, path string, data []byte, version i
 	c.pending[seq] = p
 	c.outstanding = append(c.outstanding, seq)
 	c.lastWrite = p.done
+	c.traceStart(p.req)
 	c.submitQ.Push(p)
 	return p.done
 }
@@ -538,6 +571,7 @@ func (c *Client) Multi(ops ...txn.Op) ([]txn.Result, error) {
 	c.pending[seq] = p
 	c.outstanding = append(c.outstanding, seq)
 	c.lastWrite = p.done
+	c.traceStart(p.req)
 	c.submitQ.Push(p)
 	resp, err := c.await(p.done)
 	return resp.MultiResults, err

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one complete ("X") event of the Chrome trace-event JSON
+// format, loadable into chrome://tracing or Perfetto. Timestamps and
+// durations are microseconds of virtual time.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(t int64) float64 { return float64(t) / 1e3 }
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON array. Each
+// trace becomes one thread row (tid = trace id), so a request reads as a
+// horizontal band of its stages with concurrent legs stacked beneath;
+// trace-0 pipeline spans share the 0 row.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	evs := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		cat := "stage"
+		if sp.Parent == 0 && sp.Trace != 0 {
+			cat = "request"
+		}
+		var args map[string]any
+		if sp.Path != "" || sp.Region != "" || sp.Shard != 0 {
+			args = map[string]any{}
+			if sp.Path != "" {
+				args["path"] = sp.Path
+			}
+			if sp.Region != "" {
+				args["region"] = sp.Region
+			}
+			if sp.Shard != 0 {
+				args["shard"] = sp.Shard
+			}
+		}
+		evs = append(evs, chromeEvent{
+			Name: sp.Name, Cat: cat, Ph: "X",
+			Ts: usec(int64(sp.Start)), Dur: usec(int64(sp.End - sp.Start)),
+			Pid: 1, Tid: sp.Trace, Args: args,
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	b, err := json.MarshalIndent(evs, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// ValidateChromeTrace parses a Chrome trace-event JSON blob and reports
+// the distinct event names it carries — the self-check the CI smoke and
+// the telemetry experiment run over their own exports.
+func ValidateChromeTrace(b []byte) (names map[string]int, err error) {
+	var evs []chromeEvent
+	if err := json.Unmarshal(b, &evs); err != nil {
+		return nil, fmt.Errorf("obs: invalid chrome trace: %w", err)
+	}
+	names = map[string]int{}
+	for _, ev := range evs {
+		if ev.Ph != "X" || ev.Dur < 0 {
+			return nil, fmt.Errorf("obs: malformed event %q (ph=%q dur=%v)", ev.Name, ev.Ph, ev.Dur)
+		}
+		names[ev.Name]++
+	}
+	return names, nil
+}
+
+// WriteSpanLog renders one span per line as JSON, ordered by (trace,
+// start, id): the structured per-request history a linearizability
+// checker can consume.
+func WriteSpanLog(w io.Writer, spans []Span) error {
+	out := make([]Span, len(spans))
+	copy(out, spans)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Trace != out[j].Trace {
+			return out[i].Trace < out[j].Trace
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	enc := json.NewEncoder(w)
+	for _, sp := range out {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName mangles a key into a Prometheus metric name:
+// fk_<component>_<name> with dots and dashes folded to underscores.
+func promName(k Key) string {
+	mangle := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+	}
+	return "fk_" + mangle(k.Component) + "_" + mangle(k.Name)
+}
+
+func promLabels(k Key, extra string) string {
+	var parts []string
+	if k.Shard != 0 {
+		parts = append(parts, fmt.Sprintf("shard=%q", fmt.Sprint(k.Shard)))
+	}
+	if k.Region != "" {
+		parts = append(parts, fmt.Sprintf("region=%q", k.Region))
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: counters and gauges as-is, histograms as quantile summaries
+// (milliseconds) with _count lines.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, k := range r.CounterKeys() {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n",
+			name, name, promLabels(k, ""), r.Counter(k)); err != nil {
+			return err
+		}
+	}
+	for _, k := range r.GaugeKeys() {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n",
+			name, name, promLabels(k, ""), r.Gauge(k)); err != nil {
+			return err
+		}
+	}
+	for _, k := range r.HistKeys() {
+		s := r.Hist(k)
+		if s == nil || s.N() == 0 {
+			continue
+		}
+		name := promName(k) + "_ms"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, q := range []float64{50, 90, 99} {
+			if _, err := fmt.Fprintf(w, "%s%s %.4f\n",
+				name, promLabels(k, fmt.Sprintf("quantile=%q", fmt.Sprintf("%.2f", q/100))),
+				s.Percentile(q)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(k, ""), s.N()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

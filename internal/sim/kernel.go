@@ -83,6 +83,13 @@ func NewKernel(seed int64) *Kernel {
 	}
 }
 
+// Clock is the read-only view of a virtual clock: the hook telemetry
+// spans (and any other passive observer) use to timestamp events without
+// holding a reference to the whole kernel. *Kernel implements it.
+type Clock interface {
+	Now() Time
+}
+
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 

@@ -8,6 +8,7 @@ import (
 
 	"faaskeeper/internal/cloud"
 	"faaskeeper/internal/cloud/kv"
+	"faaskeeper/internal/obs"
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/wire"
 )
@@ -88,11 +89,24 @@ type Store struct {
 	// codec selects the op-blob serialization (zero value = gob, the
 	// paper-faithful default).
 	codec wire.Codec
+
+	// metrics, when set, counts record life-cycle transitions (begins,
+	// votes, decisions) — inert no-ops unless the registry's hot-path
+	// instruments are enabled.
+	metrics *obs.Registry
 }
 
 // SetWireCodec selects the record's op-blob codec (set once at deployment
 // time, before any transaction runs).
 func (s *Store) SetWireCodec(c wire.Codec) { s.codec = c }
+
+// SetMetrics wires the deployment's metrics registry into the record
+// store (set once at deployment time).
+func (s *Store) SetMetrics(r *obs.Registry) { s.metrics = r }
+
+func (s *Store) count(name string, shard int) {
+	s.metrics.Inc(obs.Key{Component: "txn", Name: name, Shard: shard}, 1)
+}
 
 // liveKey / attrLive hold the live-record counter item.
 const (
@@ -150,6 +164,7 @@ func (s *Store) Begin(ctx cloud.Ctx, id int64, session string, seq int64, ops []
 	}, nil); err != nil {
 		return err
 	}
+	s.count("begin", 0)
 	s.bumpLive(ctx, 1)
 	return s.tbl.Put(ctx, reqKey(session, seq), kv.Item{attrID: kv.N(id)}, nil)
 }
@@ -237,7 +252,17 @@ func (s *Store) Vote(ctx cloud.Ctx, id int64, shard int, verdict string) (Record
 	if err != nil {
 		return Record{}, err
 	}
+	s.count("vote_"+verdictClass(verdict), shard)
 	return s.decodeRecord(id, it), nil
+}
+
+// verdictClass buckets a prepare verdict for the metrics registry: "ok"
+// stays, every failure code folds into "fail" (codes are unbounded).
+func verdictClass(verdict string) string {
+	if verdict == "ok" {
+		return "ok"
+	}
+	return "fail"
 }
 
 // Decide performs the conditional status transition that makes the
@@ -252,6 +277,9 @@ func (s *Store) Decide(ctx cloud.Ctx, id int64, from, to Status, resolved []Reso
 		kv.Eq{Name: attrStatus, V: kv.S(string(from))})
 	if errors.Is(err, kv.ErrConditionFailed) {
 		return ErrStatusConflict
+	}
+	if err == nil {
+		s.count("decide_"+string(to), 0)
 	}
 	return err
 }
