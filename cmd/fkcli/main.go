@@ -19,6 +19,11 @@
 // drives the live shard map; requires -dynamic.
 // trace dumps the per-request span log recorded so far; requires -trace.
 //
+// A separate mode, `fkcli [-seed N] [-faults off|default] [-quick] chaos
+// [CONFIG]`, runs the fault-injection harness (package chaos) for one
+// matrix config — or all of them — and prints the checker verdict with a
+// deterministic replay command on failure.
+//
 // -trace FILE enables the telemetry subsystem and writes a Chrome
 // trace-event JSON file on exit (open it in chrome://tracing or Perfetto).
 package main
@@ -42,12 +47,18 @@ func main() {
 	txnOn := flag.Bool("txn", false, "enable multi() transactions")
 	dynamic := flag.Bool("dynamic", false, "enable the live shard map (reshard command)")
 	traceFile := flag.String("trace", "", "enable telemetry and write a Chrome trace-event file on exit")
+	faults := flag.String("faults", "default", "chaos mode fault schedule: off|default")
+	quick := flag.Bool("quick", false, "chaos mode: smaller workload per scenario")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Println("usage: fkcli [flags] CMD ARGS [: CMD ARGS]...")
+		fmt.Println("       fkcli [-seed N] [-faults off|default] [-quick] chaos [CONFIG]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if args[0] == "chaos" {
+		os.Exit(runChaosMode(args[1:], *seed, *faults, *quick))
 	}
 
 	var cmds [][]string

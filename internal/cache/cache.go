@@ -40,6 +40,7 @@ type Stats struct {
 	Fills         int64
 	RejectedFills int64
 	Invalidations int64
+	Losses        int64
 }
 
 // Publish mirrors the counters into a metrics registry as gauges keyed
@@ -299,6 +300,23 @@ func (r *Regional) Warmup(ctx cloud.Ctx, k int) []WarmEntry {
 	}
 	r.env.Meter.Charge("cache.read", 0, 1)
 	return out
+}
+
+// Lose simulates the cache node's process dying and restarting empty:
+// cached entries, per-path invalidation floors, and the global fold floor
+// are all gone, as they would be for any in-memory node. Safety survives
+// the loss because every consistency decision lives with the clients
+// (per-path lastSeen floors, per-shard MRDs, the session sysFloor) and
+// every entry the rebuilt node will ever hold is still a genuine
+// (blob, mzxid) pair the user store returned — at worst a fresh session
+// reads older-but-real state, the staleness ZooKeeper's model already
+// permits and the client TTL already bounds. The chaos harness calls this
+// to verify exactly that argument.
+func (r *Regional) Lose() {
+	r.lru = NewLRU(r.lru.CapacityB())
+	r.floors = map[string]floor{}
+	r.globalFloor = 0
+	r.stats.Losses++
 }
 
 // Stats returns a snapshot of the traffic counters.

@@ -1,0 +1,370 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Violation is one invariant breach found in a history.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Session   string `json:"session,omitempty"`
+	Path      string `json:"path,omitempty"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] session=%s path=%s: %s", v.Invariant, v.Session, v.Path, v.Detail)
+}
+
+// CheckOpts parameterizes the checker with the workload's structure: which
+// path pairs are written atomically, which paths have a single owning
+// writer, and which sessions were still alive when the history ended.
+type CheckOpts struct {
+	// SwapPairs lists [a, b] path pairs a multi() always sets to the same
+	// value "...#k" with k strictly increasing, applied in (a, b) order. A
+	// reader that reads b then a must never see a's counter behind b's —
+	// the reverse-order probe that exposes torn multi() commits.
+	SwapPairs [][2]string
+
+	// PrivatePrefix marks single-writer paths: only the session named in
+	// the path writes them, so read-your-writes is checked exactly.
+	PrivatePrefix string
+
+	// OpenSessions are sessions still connected at the end of the run —
+	// the only ones whose armed-but-never-fired watches can be judged.
+	OpenSessions map[string]bool
+
+	// LostWatchGap is how long after an arm a read must complete to count
+	// as lost-watch evidence: a write already in the leader pipeline when
+	// the registration landed may legally miss it, so only changes
+	// observed well past any in-flight latency prove the watch was
+	// dropped. 0 means 5s (virtual).
+	LostWatchGap int64
+}
+
+// writeStatus accumulates how a (path, value) write concluded across the
+// history: committed, indeterminate, or definitely-failed.
+type writeStatus struct{ ok, indet bool }
+
+type spKey struct{ session, path string }
+
+// Check validates a history against the linearizability-style invariants
+// of the client API: per-session per-path mzxid monotonicity, write-ack
+// txid ordering, value provenance (a read never returns data no
+// non-failed write produced), a single data value per mzxid, strict
+// read-your-writes on single-writer paths, reverse-order multi()
+// atomicity, and watch ordering (no stale read before a delivered
+// notification, no silently lost watch). It returns every violation
+// found; an empty slice is a clean history.
+func Check(h *History, opts CheckOpts) []Violation {
+	if opts.PrivatePrefix == "" {
+		opts.PrivatePrefix = "/p-"
+	}
+	if opts.LostWatchGap == 0 {
+		opts.LostWatchGap = int64(5 * time.Second)
+	}
+	var out []Violation
+	add := func(inv, session, path, format string, args ...any) {
+		out = append(out, Violation{
+			Invariant: inv, Session: session, Path: path,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// ---- Pass 1: value provenance and mzxid->value maps over the whole
+	// history (reads anywhere may observe writes from any session).
+	prov := map[string]map[string]*writeStatus{} // path -> value -> status
+	note := func(path, value string, ok, indet bool) {
+		m := prov[path]
+		if m == nil {
+			m = map[string]*writeStatus{}
+			prov[path] = m
+		}
+		st := m[value]
+		if st == nil {
+			st = &writeStatus{}
+			m[value] = st
+		}
+		st.ok = st.ok || ok
+		st.indet = st.indet || indet
+	}
+	mzval := map[string]map[int64]string{} // path -> mzxid -> value
+	flaggedMz := map[string]bool{}
+	noteMz := func(session, path string, mzxid int64, value string) {
+		if mzxid <= 0 {
+			return
+		}
+		m := mzval[path]
+		if m == nil {
+			m = map[int64]string{}
+			mzval[path] = m
+		}
+		if v, ok := m[mzxid]; ok {
+			if v != value {
+				k := fmt.Sprintf("%s@%d", path, mzxid)
+				if !flaggedMz[k] {
+					flaggedMz[k] = true
+					add("same-mzxid-different-data", session, path,
+						"mzxid %d observed as %q and %q", mzxid, v, value)
+				}
+			}
+			return
+		}
+		m[mzxid] = value
+	}
+
+	for _, e := range h.Events {
+		switch e.Kind {
+		case KindWrite:
+			if e.Op != "create" && e.Op != "set" {
+				continue
+			}
+			note(e.Path, e.Value, e.Err == "", e.Err != "" && !e.Definite)
+			if e.Err == "" && e.Op == "set" {
+				noteMz(e.Session, e.Path, e.Mzxid, e.Value)
+			}
+		case KindMulti:
+			for _, op := range e.Ops {
+				if op.Op != "create" && op.Op != "set" {
+					continue
+				}
+				switch {
+				case op.Code == "ok" && e.Err == "":
+					note(op.Path, op.Value, true, false)
+					if op.Op == "set" {
+						noteMz(e.Session, op.Path, op.Txid, op.Value)
+					}
+				case e.Err != "" && !e.Definite:
+					note(op.Path, op.Value, false, true)
+				default:
+					// Definite rollback: the value must never be read.
+					note(op.Path, op.Value, false, false)
+				}
+			}
+		case KindRead:
+			if e.Err == "" {
+				noteMz(e.Session, e.Path, e.Mzxid, e.Value)
+			}
+		}
+	}
+
+	// ---- Pass 2: per-(session, path) ordering chains, read-your-writes,
+	// swap-pair counters, and watch pairing — one ordered sweep.
+	lastObs := map[spKey]int64{}       // newest mzxid observed by session on path
+	lastWrite := map[spKey]int64{}     // newest own write-ack txid
+	ryw := map[spKey]map[string]bool{} // acceptable values on private paths
+
+	pairOfB := map[string]int{}
+	pairOfA := map[string]int{}
+	for i, p := range opts.SwapPairs {
+		pairOfA[p[0]] = i
+		pairOfB[p[1]] = i
+	}
+	lastB := map[string]map[int]int64{} // session -> pair -> counter read on b
+
+	type armRec struct {
+		r   int64 // mzxid of the arming read
+		end int64 // when the arm completed
+	}
+	type fireRec struct {
+		path    string
+		t       int64 // notification txid
+		armEnd  int64
+		fireEnd int64
+	}
+	type swKey struct {
+		session string
+		wid     int64
+	}
+	pendingArm := map[swKey]armRec{}
+	armPath := map[swKey]string{}
+	var fires []struct {
+		session string
+		f       fireRec
+	}
+	reads := map[spKey][]struct{ end, mzxid int64 }{} // successful reads
+
+	obsUp := func(k spKey, m int64) {
+		if m > lastObs[k] {
+			lastObs[k] = m
+		}
+	}
+	ackWrite := func(session, path string, txid int64) {
+		if txid <= 0 {
+			return
+		}
+		k := spKey{session, path}
+		if prev := lastWrite[k]; prev > 0 && txid <= prev {
+			add("write-txid-order", session, path,
+				"write ack txid %d after %d", txid, prev)
+		}
+		lastWrite[k] = txid
+		obsUp(k, txid)
+	}
+	rywWrite := func(session, path, value string, committed bool) {
+		if !strings.HasPrefix(path, opts.PrivatePrefix) {
+			return
+		}
+		k := spKey{session, path}
+		if committed {
+			ryw[k] = map[string]bool{value: true}
+		} else {
+			if ryw[k] == nil {
+				ryw[k] = map[string]bool{}
+			}
+			ryw[k][value] = true
+		}
+	}
+
+	for _, e := range h.Events {
+		switch e.Kind {
+		case KindWrite:
+			if e.Err == "" {
+				ackWrite(e.Session, e.Path, e.Mzxid)
+				if e.Op == "create" || e.Op == "set" {
+					rywWrite(e.Session, e.Path, e.Value, true)
+				}
+			} else if !e.Definite && (e.Op == "create" || e.Op == "set") {
+				rywWrite(e.Session, e.Path, e.Value, false)
+			}
+		case KindMulti:
+			for _, op := range e.Ops {
+				if e.Err == "" && op.Code == "ok" {
+					ackWrite(e.Session, op.Path, op.Txid)
+				}
+			}
+		case KindRead:
+			if e.Err != "" {
+				continue
+			}
+			k := spKey{e.Session, e.Path}
+			if e.Mzxid > 0 && e.Mzxid < lastObs[k] {
+				add("mzxid-regression", e.Session, e.Path,
+					"read mzxid %d after observing %d", e.Mzxid, lastObs[k])
+			}
+			obsUp(k, e.Mzxid)
+			reads[k] = append(reads[k], struct{ end, mzxid int64 }{int64(e.End), e.Mzxid})
+
+			// Provenance: the value must come from a write that was not a
+			// definite failure ("" is the pre-write state of any node).
+			if e.Value != "" {
+				st := prov[e.Path][e.Value]
+				if st == nil {
+					add("phantom-value", e.Session, e.Path,
+						"read %q which no recorded write produced", e.Value)
+				} else if !st.ok && !st.indet {
+					add("failed-write-visible", e.Session, e.Path,
+						"read %q produced only by definitely-failed writes", e.Value)
+				}
+			}
+
+			// Read-your-writes on single-writer paths.
+			if strings.HasPrefix(e.Path, opts.PrivatePrefix) &&
+				strings.Contains(e.Path, e.Session) {
+				if acc := ryw[k]; acc != nil && !acc[e.Value] {
+					add("read-your-writes", e.Session, e.Path,
+						"read %q, acceptable %v", e.Value, keysOf(acc))
+				}
+			}
+
+			// Swap pairs: reading b then a must never show a behind b.
+			if pi, isB := pairOfB[e.Path]; isB {
+				if kc, ok := swapCounter(e.Value); ok {
+					m := lastB[e.Session]
+					if m == nil {
+						m = map[int]int64{}
+						lastB[e.Session] = m
+					}
+					if kc > m[pi] {
+						m[pi] = kc
+					}
+				}
+			}
+			if pi, isA := pairOfA[e.Path]; isA {
+				if ka, ok := swapCounter(e.Value); ok {
+					if kb, seen := lastB[e.Session][pi]; seen && ka < kb {
+						add("multi-atomicity", e.Session, e.Path,
+							"pair %v: read a=%d after b=%d (torn multi visible)",
+							opts.SwapPairs[pi], ka, kb)
+					}
+				}
+			}
+		case KindWatchArm:
+			if e.Err != "" {
+				continue
+			}
+			k := swKey{e.Session, e.WatchID}
+			pendingArm[k] = armRec{r: e.Mzxid, end: int64(e.End)}
+			armPath[k] = e.Path
+		case KindWatchFire:
+			k := swKey{e.Session, e.WatchID}
+			if arm, ok := pendingArm[k]; ok {
+				fires = append(fires, struct {
+					session string
+					f       fireRec
+				}{e.Session, fireRec{path: e.Path, t: e.Mzxid, armEnd: arm.end, fireEnd: int64(e.End)}})
+				delete(pendingArm, k)
+			}
+			obsUp(spKey{e.Session, e.Path}, e.Mzxid)
+		}
+	}
+
+	// ---- Watch ordering: between arming and delivery, the owner must not
+	// read state newer than the firing transaction (Z4's "notification
+	// before the new state it announces").
+	for _, fr := range fires {
+		for _, r := range reads[spKey{fr.session, fr.f.path}] {
+			if r.end >= fr.f.armEnd && r.end < fr.f.fireEnd && r.mzxid > fr.f.t {
+				add("watch-stale-read", fr.session, fr.f.path,
+					"read mzxid %d before delivery of watch txid %d", r.mzxid, fr.f.t)
+			}
+		}
+	}
+
+	// ---- Lost watches: an armed watch whose owner then observed two
+	// distinct post-arm changes must have fired — the second change's
+	// watch query provably ran after the registration landed.
+	for k, arm := range pendingArm {
+		if !opts.OpenSessions[k.session] {
+			continue
+		}
+		path := armPath[k]
+		distinct := map[int64]bool{}
+		for _, r := range reads[spKey{k.session, path}] {
+			if r.end > arm.end+opts.LostWatchGap && r.mzxid > arm.r {
+				distinct[r.mzxid] = true
+			}
+		}
+		if len(distinct) >= 2 {
+			add("lost-watch", k.session, path,
+				"watch %d armed at mzxid %d never fired despite %d observed changes",
+				k.wid, arm.r, len(distinct))
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Invariant < out[j].Invariant })
+	return out
+}
+
+// swapCounter parses the trailing "#k" counter of a swap-pair value.
+func swapCounter(v string) (int64, bool) {
+	i := strings.LastIndexByte(v, '#')
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v[i+1:], 10, 64)
+	return n, err == nil
+}
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

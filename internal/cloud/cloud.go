@@ -87,6 +87,9 @@ func (c Ctx) cpuScale() float64 {
 func (e *Env) OpTime(ctx Ctx, base sim.Dist, perKB sim.Time, sizeBytes int) sim.Time {
 	t := float64(base.Sample(e.K.Rand())) / c64(ctx.cpuScale())
 	t += float64(perKB) * float64(sizeBytes) / 1024 / c64(ctx.ioScale())
+	if h := e.K.Fault(); h != nil {
+		t += float64(h.OpDelay())
+	}
 	return sim.Time(t)
 }
 

@@ -122,6 +122,11 @@ func (q *Queue) Receive(max int) ([]Message, bool) {
 		return nil, false
 	}
 	q.env.K.Sleep(q.env.Profile.QueueDeliver[q.kind].Sample(q.env.K.Rand()))
+	if h := q.env.K.Fault(); h != nil {
+		if d := h.DeliveryDelay(q.name); d > 0 {
+			q.env.K.Sleep(d)
+		}
+	}
 	if q.kind == cloud.QueueFIFO {
 		q.groupFreeAt = q.env.K.Now() + sim.Time(len(batch))*fifoGroupPacing
 	}

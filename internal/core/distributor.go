@@ -341,6 +341,13 @@ func (d *Deployment) commitOne(ctx cloud.Ctx, dm decodedMsg, fold *batchFold, la
 	d.recordPhase("leader.get", d.K.Now()-t0)
 	if !committed {
 		if d.staleDynMsg(ctx, msg, dynGen(msg)) {
+			// Same ownership resolution as the per-message pipeline: a
+			// crashed follower's fenced message has no retry owner, so if
+			// its orphaned locks are still in place the leader reclaims
+			// them and answers instead of staying silent.
+			if d.reclaimFencedMsg(ctx, msg) {
+				return opResult{msg: msg, txid: txid, code: CodeSystemError}
+			}
 			return opResult{msg: msg, txid: txid, code: CodeSystemError, drop: true}
 		}
 		return opResult{msg: msg, txid: txid, code: CodeSystemError}

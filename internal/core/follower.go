@@ -42,6 +42,11 @@ func (d *Deployment) processRequest(ctx cloud.Ctx, req Request) error {
 	if req.Seq > 0 && d.lastSeq[req.Session] >= req.Seq {
 		return nil
 	}
+	// Crash before any work: the whole batch is redelivered and replayed
+	// from scratch (nothing was locked, pushed, or committed yet).
+	if d.crashAt(obs.StageValidate, req.Session, req.Seq) {
+		return errInjectedCrash
+	}
 	d.stageReq(req, obs.StageValidate)
 	t0 := d.K.Now()
 	var err error
@@ -152,7 +157,7 @@ func (d *Deployment) followerSetData(ctx cloud.Ctx, req Request) error {
 		d.respondFailure(req, CodeSystemError)
 		return nil
 	}
-	if d.crashInjected() {
+	if d.crashInjected() || d.crashAt(obs.StageLeaderQ, req.Session, req.Seq) {
 		return errInjectedCrash
 	}
 	// ④ Commit and unlock in one conditional write (joined with the
@@ -237,6 +242,22 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 	owner := ""
 	if req.Flags&znode.FlagEphemeral != 0 {
 		owner = req.Session
+		// Track ephemeral ownership on the session record (used by the
+		// heartbeat eviction path) BEFORE the push: once the message is in
+		// the leader queue the node can commit even if this sandbox dies
+		// (TryCommit), and an entry recorded only after a successful
+		// commit would then be lost forever — leaking the node past its
+		// session's death. The early entry is merely stale when the
+		// create fails or is replayed: eviction's deletes are idempotent
+		// and a live session keeps answering heartbeats, so a stale entry
+		// costs one ping. (Replays short-circuit on node-exists above and
+		// never reach here twice for a committed create.)
+		if _, err := d.System.Update(ctx, sessionKey(req.Session),
+			[]kv.Update{kv.StrListAppend{Name: attrSessionEph, Vals: []string{finalPath}}}, nil); err != nil {
+			d.unlockAll(ctx, nodeLock, parentLock)
+			d.respondFailure(req, CodeSystemError)
+			return nil
+		}
 	}
 	newNode := &znode.Node{
 		Path: finalPath,
@@ -261,7 +282,7 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 		return nil
 	}
 	txid := r.txid
-	if d.crashInjected() {
+	if d.crashInjected() || d.crashAt(obs.StageLeaderQ, req.Session, req.Seq) {
 		return errInjectedCrash
 	}
 	// ④ A multi-node commit: the new node and its parent fail or succeed
@@ -280,16 +301,6 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 			return errStaleRoute
 		}
 		return nil // lease lost: leader TryCommit may recover
-	}
-	if owner != "" {
-		// Track ephemeral ownership on the session record (used by the
-		// heartbeat eviction path). Not part of the atomic commit: a stale
-		// entry is harmless, a missing node delete is idempotent.
-		_, err = d.System.Update(ctx, sessionKey(req.Session),
-			[]kv.Update{kv.StrListAppend{Name: attrSessionEph, Vals: []string{finalPath}}}, nil)
-		if err != nil {
-			return nil
-		}
 	}
 	return nil
 }
@@ -381,7 +392,7 @@ func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) (int, error) {
 		return r.shard, nil
 	}
 	txid := r.txid
-	if d.crashInjected() {
+	if d.crashInjected() || d.crashAt(obs.StageLeaderQ, req.Session, req.Seq) {
 		return r.shard, errInjectedCrash
 	}
 	t0 := d.K.Now()
@@ -574,4 +585,13 @@ func (d *Deployment) unlockAll(ctx cloud.Ctx, locks ...fksync.Lock) {
 func (d *Deployment) crashInjected() bool {
 	p := d.Cfg.Faults.FollowerCrashAfterPush
 	return p > 0 && d.K.Rand().Float64() < p
+}
+
+// crashAt asks the kernel's fault hook (package chaos) whether the
+// function should die at the labeled pipeline stage while processing
+// (session, seq). Without a hook — every non-chaos deployment — this is a
+// nil check and nothing else.
+func (d *Deployment) crashAt(stage, session string, seq int64) bool {
+	h := d.K.Fault()
+	return h != nil && h.Crash(stage, session, seq)
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"encoding/gob"
+	"io"
+
+	"faaskeeper/internal/shardmap"
+	"faaskeeper/internal/txn"
+)
+
+// init pins encoding/gob's process-global type-id assignment for every
+// wire type the deployment gob-encodes. Gob allocates type ids from a
+// global counter in first-use order, and the ids appear (varint-encoded)
+// in every encoded stream — so without pinning, the byte size of e.g. a
+// transaction's resolved-op blob depends on which message types some
+// EARLIER simulation in the same process happened to encode first. Billed
+// payload sizes feed the virtual-time cost model, so that spills process
+// history into simulated time and breaks cross-run determinism (the same
+// seed replays differently depending on what ran before it).
+//
+// The order below matches the natural first-use order of the
+// paper-faithful pipeline (client request, leader queue message, watch
+// delivery), so the pinned golden trace is unchanged; the transaction,
+// shard-map, and txn-record types follow in fixed order.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{
+		Request{},
+		leaderMsg{},
+		watchPayload{},
+		txnMsg{},
+		[]txn.Op{},
+		[]txn.ResolvedOp{},
+		&shardmap.Map{},
+	} {
+		if err := enc.Encode(v); err != nil {
+			panic("core: gob type pinning: " + err.Error())
+		}
+	}
+}

@@ -55,6 +55,14 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 	if len(msgs) == 0 {
 		return nil
 	}
+	// Crash at batch start, before any message is processed or any epoch
+	// entered: redelivery replays the whole batch through awaitCommit's
+	// orphan/TryCommit path. Later crash windows are unsafe to fake at
+	// this granularity (a watch already launched would strand its epoch
+	// entry), so leader crashes are injected only here.
+	if d.crashAt(obs.StageCommit, msgs[0].msg.Session, msgs[0].msg.Seq) {
+		return errInjectedCrash
+	}
 	// Load the per-region epoch counters once per batch; they are
 	// maintained in the system store across invocations (functions are
 	// stateless) and mirrored here while the batch runs. With several
@@ -165,9 +173,16 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 	d.recordPhase("leader.get", d.K.Now()-t0)
 	if !committed {
 		if d.staleDynMsg(ctx, msg, dynGen(msg)) {
-			// Stranded by a reshard: the follower saw its commit fail the
-			// generation guard and is re-routing the request — answering
-			// here would race the retry's response.
+			// Stranded by a reshard. A live follower saw its commit fail
+			// the generation guard and owns the re-route — answering here
+			// would race the retry's response. But a follower that died
+			// between push and commit never retries (the push marked the
+			// request processed, so queue redelivery dedups it away); its
+			// tell is the message's own lock timestamps still on the node.
+			// Reclaiming those locks decides the race exactly once.
+			if d.reclaimFencedMsg(ctx, msg) {
+				d.notifyResult(msg, txid, CodeSystemError, znode.Stat{})
+			}
 			return nil
 		}
 		d.notifyResult(msg, txid, CodeSystemError, znode.Stat{})
@@ -347,6 +362,32 @@ func (d *Deployment) awaitCommit(ctx cloud.Ctx, msg leaderMsg, txid int64) (sysN
 		d.K.Sleep(sim.Time(attempt+1) * 2 * sim.Ms(1))
 	}
 	return sysNode{}, false
+}
+
+// reclaimFencedMsg resolves ownership of a pushed-then-fenced message
+// whose follower may have died between push (③) and commit (④). A live
+// follower either committed (locks gone) or saw the generation guard
+// reject its commit and released the locks itself before re-routing
+// (errStaleRoute) — in both cases the conditional release below fails and
+// the follower owns the client's response. If the release lands, the
+// locks were orphaned by a crash: no retry is coming (the push already
+// marked the request processed in the warm-state dedup cache), so the
+// caller must answer the client itself or the request is lost forever.
+func (d *Deployment) reclaimFencedMsg(ctx cloud.Ctx, msg leaderMsg) bool {
+	lockCond := func(ts int64) kv.Cond { return kv.Eq{Name: "lock", V: kv.N(ts)} }
+	unlock := []kv.Update{kv.Remove{Name: "lock"}}
+	switch msg.Op {
+	case OpSetData:
+		_, err := d.System.Update(ctx, nodeKey(msg.Path), unlock, lockCond(msg.LockTs))
+		return err == nil
+	case OpCreate, OpDelete:
+		ops := []kv.TxOp{
+			{Key: nodeKey(msg.Path), Updates: unlock, Cond: lockCond(msg.LockTs)},
+			{Key: nodeKey(msg.ParentPath), Updates: unlock, Cond: lockCond(msg.ParentLockTs)},
+		}
+		return d.System.Transact(ctx, ops) == nil
+	}
+	return false
 }
 
 // tryCommit replays the follower's conditional commit using the lock

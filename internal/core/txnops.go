@@ -823,7 +823,7 @@ func (d *Deployment) multiFastPath(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 		return nil
 	}
 	txid := r.txid
-	if d.crashInjected() {
+	if d.crashInjected() || d.crashAt(obs.StageTxnPrep, req.Session, req.Seq) {
 		return errInjectedCrash
 	}
 	// ④ One multi-item commit: every touched node and parent fails or
@@ -939,7 +939,7 @@ func (d *Deployment) multiTwoPhase(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 	if err := d.Txns.Decide(ctx, id, txn.StatusPreparing, txn.StatusCommitted, plan.resolved); err != nil {
 		return nil // a resumed duplicate owns the record; let it drive
 	}
-	if d.crashInjected() {
+	if d.crashInjected() || d.crashAt(obs.StageTxnCommit, req.Session, req.Seq) {
 		return errInjectedCrash
 	}
 	return d.txnCommitDrive(ctx, req, id, plan.resolved, nil, false)
@@ -997,7 +997,7 @@ func (d *Deployment) txnCommitDrive(ctx cloud.Ctx, req Request, id int64, resolv
 	for _, s := range shards {
 		d.txnSysCommit(ctx, id, resolvedOfShard(resolved, s), commits[s])
 	}
-	if d.crashInjected() {
+	if d.crashInjected() || d.crashAt(obs.StageTxnApply, req.Session, req.Seq) {
 		return errInjectedCrash
 	}
 	// Barrier: every shard leader finished its commit phase (watches

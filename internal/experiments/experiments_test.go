@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
 		"tab3", "fig11", "fig12", "fig13", "tab4", "fig14", "sec532x",
 		"ablations", "sharding", "caching", "batching", "txn", "reshard",
-		"telemetry",
+		"telemetry", "chaos",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -506,6 +506,34 @@ func TestTxnCommitLatencyAndAtomicity(t *testing.T) {
 		if row[4] != "0" {
 			t.Errorf("shards=%s: partial commits reported: %s", row[0], row[4])
 		}
+	}
+}
+
+func TestChaosMatrixClean(t *testing.T) {
+	rep := runQuick(t, "chaos")
+	if len(rep.Sections) != 2 {
+		t.Fatalf("expected matrix and fault-kind sections, got %d", len(rep.Sections))
+	}
+	// Every (config, seed, arm) row must come back clean, the control arm
+	// must inject zero faults, and the fault arm must inject at least one.
+	for _, row := range rep.Sections[0].Rows {
+		if row[6] != "clean" {
+			t.Errorf("%s seed %s faults=%s: %s", row[0], row[1], row[2], row[6])
+		}
+		injected, err := strconv.ParseInt(row[4], 10, 64)
+		if err != nil {
+			t.Fatalf("bad injected count in %v", row)
+		}
+		if row[2] == "off" && injected != 0 {
+			t.Errorf("%s seed %s: control arm injected %d faults", row[0], row[1], injected)
+		}
+		if row[2] == "default" && injected == 0 {
+			t.Errorf("%s seed %s: fault arm injected nothing", row[0], row[1])
+		}
+	}
+	// The representative heavy run must exercise more than one fault class.
+	if len(rep.Sections[1].Rows) < 2 {
+		t.Errorf("fault-kind breakdown too thin: %v", rep.Sections[1].Rows)
 	}
 }
 

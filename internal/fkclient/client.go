@@ -121,6 +121,19 @@ type watchEntry struct {
 	wt        core.WatchType
 	cb        WatchCallback
 	delivered *sim.Future[core.Notification]
+
+	// armMRD snapshots the per-shard MRD at registration time. A watch id
+	// is a pure hash of (path, type), so a re-registration after a
+	// delivered fire aliases the old id — and node versions stamped by
+	// the *previous* registration's fire would otherwise block the Z4
+	// epoch wait against the new entry forever (the canonical
+	// read-then-re-arm pattern would wedge until an unrelated next
+	// write). A version at or below the arm-time MRD of its minting shard
+	// cannot have a notification in flight for this registration: any
+	// transaction that fires the new watch queried the watch list after
+	// the registration landed, hence commits — and mints its txid — after
+	// every notification already delivered by then.
+	armMRD map[int]int64
 }
 
 // Connect registers a new session and starts the client workers. It must
@@ -662,9 +675,14 @@ func (c *Client) registerWatch(path string, wt core.WatchType, cb WatchCallback)
 		c.watches[wid].cb = cb
 		return nil
 	}
+	armMRD := make(map[int]int64, len(c.mrd))
+	for shard, txid := range c.mrd {
+		armMRD[shard] = txid
+	}
 	c.watches[wid] = &watchEntry{
 		wid: wid, path: path, wt: wt, cb: cb,
 		delivered: sim.NewFuture[core.Notification](c.d.K),
+		armMRD:    armMRD,
 	}
 	return nil
 }
@@ -702,6 +720,13 @@ func (c *Client) read(path string, watching bool) (*znode.Node, error) {
 		for _, wid := range stamp {
 			entry, mine := c.watches[wid]
 			if !mine || entry.delivered.Done() {
+				continue
+			}
+			if n.Stat.Mzxid <= entry.armMRD[c.mintShard(n.Stat.Mzxid)] {
+				// Stale alias: this version's fire belonged to a previous
+				// registration of the same watch id and was already
+				// delivered before the current one was armed (see
+				// watchEntry.armMRD).
 				continue
 			}
 			if _, ok := entry.delivered.WaitTimeout(DefaultRequestTimeout); !ok {

@@ -34,6 +34,7 @@ type Kernel struct {
 	nextID  int64
 	live    map[int64]*Process
 	stopped bool
+	fault   FaultHook
 }
 
 // Process is a simulated thread of control. Processes are created by
