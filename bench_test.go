@@ -521,3 +521,44 @@ func BenchmarkFKReadPath(b *testing.B) {
 	b.StopTimer()
 	k.Shutdown()
 }
+
+// BenchmarkFKCost measures the attributed dollar cost of the
+// paper-faithful pipeline over a fixed 128 B write+read workload and
+// reports it as usd-per-1m/op. Virtual time and pricing are fully
+// deterministic, so the benchjson gate on BENCH_cost.json fails on >15%
+// drift in either direction — a cost-model change has to update the
+// committed baseline deliberately.
+func BenchmarkFKCost(b *testing.B) {
+	b.ReportAllocs()
+	var per1m float64
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		d := core.NewDeployment(k, core.Config{CostAccounting: true})
+		var reqs int64
+		k.Go("bench", func() {
+			c, err := fkclient.Connect(d, "bench", d.Cfg.Profile.Home)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Create("/bench", nil, 0); err != nil {
+				b.Fatal(err)
+			}
+			d.ResetMetrics()
+			payload := make([]byte, 128)
+			for j := 0; j < 50; j++ {
+				if _, err := c.SetData("/bench", payload, -1); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := c.GetData("/bench"); err != nil {
+					b.Fatal(err)
+				}
+				reqs += 2
+			}
+			per1m = d.Obs.Cost.TotalUSD() / float64(reqs) * 1e6
+		})
+		k.Run()
+		k.Shutdown()
+	}
+	b.ReportMetric(per1m, "usd-per-1m/op")
+}

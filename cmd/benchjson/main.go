@@ -12,8 +12,11 @@
 // compare checks a fresh report against the committed baseline and fails
 // on a >15% regression in either vsec/op (simulated latency: fully
 // deterministic, any drift is a real model change) or allocs/op (the
-// allocation budget). Wall-clock ns/op and B/op are recorded for the
-// trajectory but not gated — CI runners are too noisy for them.
+// allocation budget), and on a >15% drift in EITHER direction of
+// usd-per-1m/op (attributed cost, gated by BENCH_cost.json — a cheaper
+// number is as much an unacknowledged model change as a pricier one).
+// Wall-clock ns/op and B/op are recorded for the trajectory but not
+// gated — CI runners are too noisy for them.
 package main
 
 import (
@@ -42,7 +45,12 @@ type Report struct {
 
 // gatedMetrics are the deterministic metrics compare enforces; the rest
 // of the trajectory is informational.
-var gatedMetrics = []string{"vsec/op", "allocs/op"}
+var gatedMetrics = []string{"vsec/op", "allocs/op", "usd-per-1m/op"}
+
+// twoSided marks gated metrics where drift in either direction fails:
+// attributed dollar cost is fully deterministic, so a number coming in 15%
+// cheaper is as much an unacknowledged model change as one 15% pricier.
+var twoSided = map[string]bool{"usd-per-1m/op": true}
 
 const tolerance = 0.15
 
@@ -205,6 +213,10 @@ func compare(basePath, newPath string) (bool, error) {
 			}
 			if bv > 0 && nv > bv*(1+tolerance) {
 				fmt.Printf("FAIL %s: %s regressed %.4g -> %.4g (>%.0f%%)\n",
+					b.Name, metric, bv, nv, tolerance*100)
+				ok = false
+			} else if bv > 0 && twoSided[metric] && nv < bv*(1-tolerance) {
+				fmt.Printf("FAIL %s: %s drifted %.4g -> %.4g (>%.0f%% below baseline)\n",
 					b.Name, metric, bv, nv, tolerance*100)
 				ok = false
 			} else {

@@ -26,6 +26,10 @@
 //
 // -trace FILE enables the telemetry subsystem and writes a Chrome
 // trace-event JSON file on exit (open it in chrome://tracing or Perfetto).
+//
+// -metrics FILE enables cost accounting and writes a Prometheus-text
+// snapshot of the metrics registry on exit — including the fk_cost_*
+// dollar series.
 package main
 
 import (
@@ -47,6 +51,7 @@ func main() {
 	txnOn := flag.Bool("txn", false, "enable multi() transactions")
 	dynamic := flag.Bool("dynamic", false, "enable the live shard map (reshard command)")
 	traceFile := flag.String("trace", "", "enable telemetry and write a Chrome trace-event file on exit")
+	metricsFile := flag.String("metrics", "", "enable cost accounting and write a Prometheus-text registry snapshot on exit")
 	faults := flag.String("faults", "default", "chaos mode fault schedule: off|default")
 	quick := flag.Bool("quick", false, "chaos mode: smaller workload per scenario")
 	flag.Parse()
@@ -79,12 +84,13 @@ func main() {
 
 	s := faaskeeper.NewSimulation(*seed)
 	d := s.DeployFaaSKeeper(faaskeeper.DeploymentOptions{
-		GCP:           *gcp,
-		UserStore:     faaskeeper.StoreKind(*store),
-		WriteShards:   *shards,
-		EnableTxn:     *txnOn,
-		DynamicShards: *dynamic,
-		Telemetry:     *traceFile != "",
+		GCP:            *gcp,
+		UserStore:      faaskeeper.StoreKind(*store),
+		WriteShards:    *shards,
+		EnableTxn:      *txnOn,
+		DynamicShards:  *dynamic,
+		Telemetry:      *traceFile != "",
+		CostAccounting: *metricsFile != "",
 	})
 	exit := 0
 	s.Go(func() {
@@ -111,6 +117,12 @@ func main() {
 			exit = 1
 		}
 	}
+	if *metricsFile != "" {
+		if err := writeMetrics(d, *metricsFile); err != nil {
+			fmt.Println("metrics:", err)
+			exit = 1
+		}
+	}
 	fmt.Printf("-- virtual time: %v, total cost: $%.6f --\n", s.Now(), d.TotalCost())
 	os.Exit(exit)
 }
@@ -127,6 +139,21 @@ func writeTrace(d *faaskeeper.Deployment, path string) error {
 		return err
 	}
 	fmt.Printf("wrote %d spans to %s\n", len(spans), path)
+	return nil
+}
+
+// writeMetrics dumps the registry — gauges, counters, and histogram
+// summaries, cost cells included — as Prometheus text.
+func writeMetrics(d *faaskeeper.Deployment, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.WritePrometheus(f, d.Obs().Metrics); err != nil {
+		return err
+	}
+	fmt.Printf("wrote metrics snapshot to %s\n", path)
 	return nil
 }
 

@@ -7,9 +7,11 @@
 //	fkrepro -all               # run everything
 //	fkrepro -all -quick        # reduced repetition counts
 //	fkrepro -seed 7 -run tab3  # change the simulation seed
+//	fkrepro -run cost -json cost.json  # also write the tables as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced repetition counts")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	jsonFile := flag.String("json", "", "also write the run's reports as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -49,6 +52,7 @@ func main() {
 	}
 
 	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick}
+	var reports []*experiments.Report
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := experiments.ByID(id)
@@ -58,7 +62,26 @@ func main() {
 		}
 		start := time.Now()
 		rep := e.Run(cfg)
+		reports = append(reports, rep)
 		fmt.Println(rep.Render())
 		fmt.Printf("(%s completed in %.1fs wall-clock)\n\n", id, time.Since(start).Seconds())
 	}
+	if *jsonFile != "" {
+		if err := writeJSON(*jsonFile, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonFile, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d report(s) to %s\n", len(reports), *jsonFile)
+	}
+}
+
+// writeJSON dumps every report of the run — ids, titles, table sections
+// and notes — as an indented JSON array, so CI and notebooks can diff
+// the tables without scraping the rendered text.
+func writeJSON(path string, reports []*experiments.Report) error {
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

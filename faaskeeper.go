@@ -227,6 +227,23 @@ type DeploymentOptions struct {
 	// (obs.WritePrometheus), or a per-request span log
 	// (obs.WriteSpanLog). See the "telemetry" experiment.
 	Telemetry bool
+	// CostAccounting enables per-request dollar attribution: every
+	// pay-as-you-go charge a request causes is billed to it at the
+	// instant the charge occurs, aggregated into (category, shard,
+	// region) cost cells with $/1M-requests gauges, and — when Telemetry
+	// is also on — folded into each request's spans so per-stage costs
+	// telescope to the exact request total. Default false: every
+	// attribution point is a no-op and virtual timing is untouched. See
+	// the "cost" experiment and Deployment.Obs().Cost.
+	CostAccounting bool
+	// CostBudgetUSDPerHour arms the ledger's burn-rate monitor: spend is
+	// evaluated over tumbling windows of virtual time and a window
+	// exceeding this hourly rate emits a breach gauge and a "cost.breach"
+	// span. 0 disarms (the default). Requires CostAccounting.
+	CostBudgetUSDPerHour float64
+	// CostBudgetWindow is the burn-rate evaluation window (default 1 s of
+	// virtual time).
+	CostBudgetWindow time.Duration
 }
 
 // AutoShard is the shard auto-scaling policy (DeploymentOptions.AutoShard).
@@ -264,6 +281,9 @@ func (s *Simulation) DeployFaaSKeeper(opts DeploymentOptions) *Deployment {
 		CacheWarmK:           opts.CacheWarmK,
 		WireCodec:            opts.WireCodec,
 		Telemetry:            opts.Telemetry,
+		CostAccounting:       opts.CostAccounting,
+		CostBudgetUSDPerHour: opts.CostBudgetUSDPerHour,
+		CostBudgetWindow:     opts.CostBudgetWindow,
 	}
 	if opts.ARM {
 		cfg.Arch = faas.ARM

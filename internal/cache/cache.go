@@ -89,6 +89,16 @@ type Regional struct {
 	globalFloor int64
 	stats       Stats
 	codec       wire.Codec // invalidation size model (zero value = gob)
+
+	// vmAccrual amortizes the cache VM's hourly price over the metered
+	// operations (cost accounting opt-in): each op is charged the VM time
+	// elapsed since the previous billed op, so the summed "cache.vm"
+	// charges equal the VM's elapsed wall-clock cost while attribution
+	// follows whoever actually used the node. Off by default — the meter
+	// then matches the paper's per-request figures, which price the cache
+	// VM separately as a provisioned daily cost.
+	vmAccrual    bool
+	vmLastBilled sim.Time
 }
 
 // defaultFloorCap keeps the watermark map far above any working set the
@@ -144,6 +154,30 @@ func (r *Regional) compactFloors() {
 // Region returns the cache node's region.
 func (r *Regional) Region() cloud.Region { return r.region }
 
+// EnableVMAccrual turns on per-hit amortization of the cache VM's hourly
+// price (see the vmAccrual field). Deployments call it when cost
+// accounting is on.
+func (r *Regional) EnableVMAccrual() {
+	r.vmAccrual = true
+	r.vmLastBilled = r.env.K.Now()
+}
+
+// chargeOp meters one cache operation (the op itself is free — the VM is
+// billed by the hour) and, with accrual on, charges the VM time elapsed
+// since the previous billed op so provisioned dollars follow usage.
+func (r *Regional) chargeOp(ctx cloud.Ctx, category string) {
+	r.env.Charge(ctx, category, 0, 1)
+	if !r.vmAccrual {
+		return
+	}
+	now := r.env.K.Now()
+	if elapsed := now - r.vmLastBilled; elapsed > 0 {
+		r.vmLastBilled = now
+		usd := r.env.Profile.Pricing.CacheVMHourly * elapsed.Hours()
+		r.env.Charge(ctx, "cache.vm", usd, 1)
+	}
+}
+
 // lat sleeps one cache-node operation: the mem-store base plus the
 // size-proportional transfer term, exactly like the Redis-backed user
 // store the paper measures.
@@ -161,7 +195,7 @@ func (r *Regional) Lookup(ctx cloud.Ctx, path string) ([]byte, int64, bool) {
 	p := r.env.Profile
 	r.lat(ctx, p.MemReadBase, 0, 0)
 	e, ok := r.lru.Get(path)
-	r.env.Meter.Charge("cache.read", 0, 1)
+	r.chargeOp(ctx, "cache.read")
 	if !ok {
 		r.stats.Misses++
 		return nil, 0, false
@@ -178,7 +212,7 @@ func (r *Regional) Lookup(ctx cloud.Ctx, path string) ([]byte, int64, bool) {
 func (r *Regional) Fill(ctx cloud.Ctx, path string, blob []byte, mzxid int64) bool {
 	p := r.env.Profile
 	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, len(blob))
-	r.env.Meter.Charge("cache.write", 0, 1)
+	r.chargeOp(ctx, "cache.write")
 	if mzxid < r.floorOf(path) {
 		r.stats.RejectedFills++
 		return false
@@ -207,7 +241,7 @@ func (r *Regional) Fill(ctx cloud.Ctx, path string, blob []byte, mzxid int64) bo
 func (r *Regional) Invalidate(ctx cloud.Ctx, inv Invalidation) {
 	p := r.env.Profile
 	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, r.invSizeOf(inv))
-	r.env.Meter.Charge("cache.write", 0, 1)
+	r.chargeOp(ctx, "cache.write")
 	r.apply(inv)
 }
 
@@ -226,7 +260,7 @@ func (r *Regional) InvalidateBatch(ctx cloud.Ctx, invs []Invalidation) {
 		size += r.invSizeOf(inv)
 	}
 	r.lat(ctx, p.MemWriteBase, p.MemWritePerKB, size)
-	r.env.Meter.Charge("cache.write", 0, 1)
+	r.chargeOp(ctx, "cache.write")
 	for _, inv := range invs {
 		r.apply(inv)
 	}
@@ -298,7 +332,7 @@ func (r *Regional) Warmup(ctx cloud.Ctx, k int) []WarmEntry {
 	if size > 0 {
 		r.lat(ctx, sim.Const(0), p.MemReadPerKB, size)
 	}
-	r.env.Meter.Charge("cache.read", 0, 1)
+	r.chargeOp(ctx, "cache.read")
 	return out
 }
 

@@ -39,6 +39,14 @@ func NewEnv(k *sim.Kernel, p *Profile) *Env {
 	return &Env{K: k, Profile: p, Meter: NewMeter()}
 }
 
+// BillSink receives a copy of every meter charge made under a Ctx carrying
+// it, at the instant the charge occurs. Deployments use it to attribute
+// exact pay-as-you-go dollars to the request (trace) a service call was
+// made on behalf of; a nil sink — the default — costs nothing.
+type BillSink interface {
+	BillOp(category string, usd float64, n int64)
+}
+
 // Ctx describes the caller of a cloud-service operation: where it runs and
 // how fast its sandbox can move data. Latency models scale their
 // size-dependent terms by 1/IOScale and their base terms by 1/CPUScale, so
@@ -52,6 +60,9 @@ type Ctx struct {
 	// set it below 1 to reproduce the leader-function slowdowns of
 	// Section 5.3.2.
 	ObjScale float64
+	// Bill, when non-nil, receives a copy of every charge made through
+	// this context (Env.Charge) for per-request cost attribution.
+	Bill BillSink
 }
 
 // ClientCtx is the context of a plain client VM in the given region
@@ -98,6 +109,17 @@ func c64(f float64) float64 {
 		return 1
 	}
 	return f
+}
+
+// Charge records a pay-as-you-go charge against the environment's meter
+// and forwards it to the context's attribution sink when one is set. Every
+// service call site charges through here so attributed costs are exactly
+// the metered costs — never a re-derivation.
+func (e *Env) Charge(ctx Ctx, category string, dollars float64, n int64) {
+	e.Meter.Charge(category, dollars, n)
+	if ctx.Bill != nil {
+		ctx.Bill.BillOp(category, dollars, n)
+	}
 }
 
 // Meter accumulates pay-as-you-go charges and operation counts, keyed by

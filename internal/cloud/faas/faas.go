@@ -42,6 +42,11 @@ type Invocation struct {
 	Payload  []byte          // direct invocation payload
 	Cold     bool
 	Attempt  int // 1 for the first try
+	// Bill, when set by the handler during execution, receives this
+	// invocation's GB-s charge (run bills after the handler returns, so a
+	// handler that decodes its batch can attribute the execution cost to
+	// the requests it served). Defaults to the context's sink.
+	Bill cloud.BillSink
 }
 
 // Config describes one deployed function.
@@ -194,8 +199,13 @@ func (f *Function) run(inv *Invocation) error {
 	if err != nil {
 		f.errors++
 	}
-	env.Meter.Charge("faas."+f.cfg.Name,
-		env.Profile.Pricing.FaaSCost(f.cfg.MemoryMB, f.cfg.VCPU, sec, f.cfg.Arch == ARM), 1)
+	usd := env.Profile.Pricing.FaaSCost(f.cfg.MemoryMB, f.cfg.VCPU, sec, f.cfg.Arch == ARM)
+	env.Meter.Charge("faas."+f.cfg.Name, usd, 1)
+	if sink := inv.Bill; sink != nil {
+		sink.BillOp("faas."+f.cfg.Name, usd, 1)
+	} else if inv.Ctx.Bill != nil {
+		inv.Ctx.Bill.BillOp("faas."+f.cfg.Name, usd, 1)
+	}
 	f.releaseSandbox()
 	return err
 }
@@ -207,7 +217,9 @@ func (p *Platform) Invoke(ctx cloud.Ctx, name string, payload []byte) error {
 	f := p.Function(name)
 	prof := p.env.Profile
 	p.env.K.Sleep(p.env.OpTime(ctx, prof.DirectInvoke, prof.DirectPerKB, len(payload)))
-	return f.run(&Invocation{K: p.env.K, Ctx: f.SandboxCtx(), Func: f, Payload: payload, Attempt: 1})
+	sctx := f.SandboxCtx()
+	sctx.Bill = ctx.Bill // the invocation works on behalf of the caller
+	return f.run(&Invocation{K: p.env.K, Ctx: sctx, Func: f, Payload: payload, Attempt: 1})
 }
 
 // InvokeAsync fires a free function without waiting for completion,
@@ -219,7 +231,9 @@ func (p *Platform) InvokeAsync(ctx cloud.Ctx, name string, payload []byte) *sim.
 	prof := p.env.Profile
 	p.env.K.Go("invoke-async:"+name, func() {
 		p.env.K.Sleep(p.env.OpTime(ctx, prof.DirectInvoke, prof.DirectPerKB, len(payload)))
-		fut.Complete(f.run(&Invocation{K: p.env.K, Ctx: f.SandboxCtx(), Func: f, Payload: payload, Attempt: 1}))
+		sctx := f.SandboxCtx()
+		sctx.Bill = ctx.Bill // the invocation works on behalf of the caller
+		fut.Complete(f.run(&Invocation{K: p.env.K, Ctx: sctx, Func: f, Payload: payload, Attempt: 1}))
 	})
 	return fut
 }

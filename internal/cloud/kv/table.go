@@ -158,7 +158,7 @@ func (t *Table) Get(ctx cloud.Ctx, key string, consistent bool) (Item, bool) {
 		size = r.cur.Size()
 	}
 	t.env.K.Sleep(t.readLatency(ctx, size))
-	t.env.Meter.Charge(t.costCat+".read", t.profile().Pricing.KVReadCost(max(size, 1), consistent), 1)
+	t.env.Charge(ctx, t.costCat+".read", t.profile().Pricing.KVReadCost(max(size, 1), consistent), 1)
 	r = t.items[key] // re-fetch: state may have changed while we slept
 	if r == nil {
 		return nil, false
@@ -193,7 +193,7 @@ func (t *Table) GetView(ctx cloud.Ctx, key string, consistent bool) (Item, bool)
 		size = r.cur.Size()
 	}
 	t.env.K.Sleep(t.readLatency(ctx, size))
-	t.env.Meter.Charge(t.costCat+".read", t.profile().Pricing.KVReadCost(max(size, 1), consistent), 1)
+	t.env.Charge(ctx, t.costCat+".read", t.profile().Pricing.KVReadCost(max(size, 1), consistent), 1)
 	r = t.items[key] // re-fetch: state may have changed while we slept
 	if r == nil {
 		return nil, false
@@ -218,7 +218,7 @@ func (t *Table) Put(ctx cloud.Ctx, key string, item Item, cond Cond) error {
 		return fmt.Errorf("%w: %d > %d", ErrItemTooLarge, size, t.profile().KVMaxItemB)
 	}
 	t.env.K.Sleep(t.writeLatency(ctx, size, 0, cond != nil))
-	t.env.Meter.Charge(t.costCat+".write", t.profile().Pricing.KVWriteCost(size), 1)
+	t.env.Charge(ctx, t.costCat+".write", t.profile().Pricing.KVWriteCost(size), 1)
 	old, exists := t.lookup(key)
 	if cond != nil && !cond.Eval(old, exists) {
 		return ErrConditionFailed
@@ -240,7 +240,7 @@ func (t *Table) Update(ctx cloud.Ctx, key string, updates []Update, cond Cond) (
 		appendSize += u.payloadSize()
 	}
 	t.env.K.Sleep(t.writeLatency(ctx, max(size, appendSize), appendSize, cond != nil))
-	t.env.Meter.Charge(t.costCat+".write", t.profile().Pricing.KVWriteCost(max(size, appendSize)), 1)
+	t.env.Charge(ctx, t.costCat+".write", t.profile().Pricing.KVWriteCost(max(size, appendSize)), 1)
 
 	old, exists = t.lookup(key) // re-evaluate after the latency
 	if cond != nil && !cond.Eval(old, exists) {
@@ -271,7 +271,7 @@ func (t *Table) Delete(ctx cloud.Ctx, key string, cond Cond) error {
 		size = old.Size()
 	}
 	t.env.K.Sleep(t.writeLatency(ctx, size, 0, cond != nil))
-	t.env.Meter.Charge(t.costCat+".write", t.profile().Pricing.KVWriteCost(max(size, 1)), 1)
+	t.env.Charge(ctx, t.costCat+".write", t.profile().Pricing.KVWriteCost(max(size, 1)), 1)
 	old, exists = t.lookup(key)
 	if cond != nil && !cond.Eval(old, exists) {
 		return ErrConditionFailed
@@ -311,7 +311,7 @@ func (t *Table) Transact(ctx cloud.Ctx, ops []TxOp) error {
 		lat += p.Sample(t.env.K.Rand())
 	}
 	t.env.K.Sleep(lat)
-	t.env.Meter.Charge(t.costCat+".write", t.profile().Pricing.KVWriteCost(max(size, 1))*float64(len(ops)), int64(len(ops)))
+	t.env.Charge(ctx, t.costCat+".write", t.profile().Pricing.KVWriteCost(max(size, 1))*float64(len(ops)), int64(len(ops)))
 
 	// Check all conditions against the post-latency state.
 	for _, op := range ops {
@@ -358,7 +358,7 @@ func (t *Table) Scan(ctx cloud.Ctx) []KeyItem {
 		total += r.cur.Size()
 	}
 	t.env.K.Sleep(t.readLatency(ctx, total))
-	t.env.Meter.Charge(t.costCat+".read", t.profile().Pricing.KVReadCost(max(total, 1), true), 1)
+	t.env.Charge(ctx, t.costCat+".read", t.profile().Pricing.KVReadCost(max(total, 1), true), 1)
 	out := make([]KeyItem, 0, len(t.items))
 	for _, k := range t.sortedKeys() {
 		out = append(out, KeyItem{Key: k, Item: t.items[k].cur.Clone()})

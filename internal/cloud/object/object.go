@@ -49,7 +49,7 @@ func (b *Bucket) latency(ctx cloud.Ctx, base sim.Dist, perKB sim.Time, size int)
 func (b *Bucket) Put(ctx cloud.Ctx, key string, data []byte) {
 	p := b.env.Profile
 	b.env.K.Sleep(b.latency(ctx, p.ObjWriteBase, p.ObjWritePerKB, len(data)))
-	b.env.Meter.Charge("obj.write", p.Pricing.ObjectWriteCost(len(data)), 1)
+	b.env.Charge(ctx, "obj.write", p.Pricing.ObjectWriteCost(len(data)), 1)
 	b.objects[key] = append([]byte(nil), data...)
 }
 
@@ -63,7 +63,7 @@ func (b *Bucket) Get(ctx cloud.Ctx, key string) ([]byte, error) {
 	data, ok := b.objects[key]
 	p := b.env.Profile
 	b.env.K.Sleep(b.latency(ctx, p.ObjReadBase, p.ObjReadPerKB, len(data)))
-	b.env.Meter.Charge("obj.read", p.Pricing.ObjectReadCost(len(data)), 1)
+	b.env.Charge(ctx, "obj.read", p.Pricing.ObjectReadCost(len(data)), 1)
 	data, ok = b.objects[key] // racing writer may have landed while we slept
 	if !ok {
 		return nil, ErrNoSuchKey
@@ -75,7 +75,7 @@ func (b *Bucket) Get(ctx cloud.Ctx, key string) ([]byte, error) {
 func (b *Bucket) Delete(ctx cloud.Ctx, key string) {
 	p := b.env.Profile
 	b.env.K.Sleep(b.latency(ctx, p.ObjWriteBase, p.ObjWritePerKB, 0))
-	b.env.Meter.Charge("obj.write", p.Pricing.ObjectWriteCost(0), 1)
+	b.env.Charge(ctx, "obj.write", p.Pricing.ObjectWriteCost(0), 1)
 	delete(b.objects, key)
 }
 

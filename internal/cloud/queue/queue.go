@@ -82,7 +82,7 @@ func (q *Queue) Send(ctx cloud.Ctx, groupID string, body []byte) (int64, error) 
 		return 0, ErrTooLarge
 	}
 	q.env.K.Sleep(q.env.OpTime(ctx, p.QueueSendBase, p.QueueSendPerKB, len(body)))
-	q.env.Meter.Charge("queue.msg", p.Pricing.QueueMsgCost(len(body)), 1)
+	q.env.Charge(ctx, "queue.msg", p.Pricing.QueueMsgCost(len(body)), 1)
 	q.seqNo++
 	m := Message{
 		SeqNo:   q.seqNo,

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"faaskeeper/internal/shardmap"
+)
+
+// autoShardCase drives the extracted policy over a synthetic depth
+// schedule: one row per monitor tick, one column per shard.
+func driveAutoShard(p *autoShardPolicy, m *shardmap.Map, rows [][]int64) []autoShardAction {
+	out := make([]autoShardAction, 0, len(rows))
+	for _, row := range rows {
+		row := row
+		out = append(out, p.step(m, func(s int) int64 {
+			if s >= len(row) {
+				return 0
+			}
+			return row[s]
+		}))
+	}
+	return out
+}
+
+func autoShardCfg(costAware bool) AutoShard {
+	cfg := AutoShard{
+		Enabled:   true,
+		CostAware: costAware,
+	}
+	cfg.defaults()
+	cfg.MergeIdle = 2
+	return cfg
+}
+
+// splitMap models the state after "/hot" was split over shards 1 and 2.
+func splitMap() *shardmap.Map {
+	m := shardmap.New(1)
+	m.Queues = 3
+	m.Splits = []shardmap.Split{{Prefix: "/hot", Shards: []int{1, 2}}}
+	return m
+}
+
+// TestAutoShardCostObjectiveFlipsMerge is the decision-flip demonstration:
+// on the identical depth schedule — a split that goes idle immediately —
+// the depth-threshold policy merges after MergeIdle quiet samples, while
+// the cost-aware objective declines because the split never absorbed
+// enough queue-delay cost to pay for its own transition plus the merge's.
+func TestAutoShardCostObjectiveFlipsMerge(t *testing.T) {
+	// Two idle ticks on the split's shards; no shard is hot.
+	rows := [][]int64{{0, 0, 0}, {0, 0, 0}}
+
+	est := 1e-4 // $ per reshard transition
+	depthActs := driveAutoShard(newAutoShardPolicy(autoShardCfg(false), est), splitMap(), rows)
+	costActs := driveAutoShard(newAutoShardPolicy(autoShardCfg(true), est), splitMap(), rows)
+
+	if got := depthActs[len(depthActs)-1].merge; got != "/hot" {
+		t.Fatalf("depth policy: want merge of /hot on tick %d, got %q", len(rows), got)
+	}
+	for i, a := range costActs {
+		if a.merge != "" {
+			t.Fatalf("cost policy: merged %q on tick %d despite an unpaid split", a.merge, i+1)
+		}
+	}
+}
+
+// TestAutoShardCostMergesPaidSplit is the other direction of the flip: a
+// split that carried heavy load long enough to cover both reshard
+// transitions is merged by the cost-aware policy once it idles — the
+// objective is economic, not a refusal to ever merge.
+func TestAutoShardCostMergesPaidSplit(t *testing.T) {
+	cfg := autoShardCfg(true)
+	est := 1e-4
+	// Each loaded tick accrues 2 shards x depth 4 x 1 s x $1e-6 = $8e-6
+	// of absorbed delay onto "/hot"; 30 ticks accrue $2.4e-4 >= 2 x est.
+	// Depth 4 stays below SplitDepth (6) so no further split interferes.
+	rows := make([][]int64, 0, 32)
+	for i := 0; i < 30; i++ {
+		rows = append(rows, []int64{0, 4, 4})
+	}
+	rows = append(rows, []int64{0, 0, 0}, []int64{0, 0, 0})
+
+	acts := driveAutoShard(newAutoShardPolicy(cfg, est), splitMap(), rows)
+	if got := acts[len(acts)-1].merge; got != "/hot" {
+		t.Fatalf("cost policy: want merge of the paid-off /hot split, got %q", got)
+	}
+}
+
+// TestAutoShardCostGatesSplit checks the split side of the objective: a
+// sustained hot streak splits immediately under the depth policy but
+// waits for the delay pool to cover the reshard estimate in cost mode.
+func TestAutoShardCostGatesSplit(t *testing.T) {
+	m := shardmap.New(1)
+	m.Queues = 1
+
+	// Depth 8 >= SplitDepth sustains from tick 1; each tick pools
+	// 8 x 1 s x $1e-6 = $8e-6 on shard 0.
+	rows := make([][]int64, 8)
+	for i := range rows {
+		rows[i] = []int64{8}
+	}
+
+	est := 5e-5 // needs ceil(est / 8e-6) = 7 ticks of pooled delay
+	depthActs := driveAutoShard(newAutoShardPolicy(autoShardCfg(false), est), m, rows)
+	costActs := driveAutoShard(newAutoShardPolicy(autoShardCfg(true), est), m, rows)
+
+	firstSplit := func(acts []autoShardAction) int {
+		for i, a := range acts {
+			if a.splitShard == 0 {
+				return i + 1
+			}
+		}
+		return -1
+	}
+	if got := firstSplit(depthActs); got != 3 { // Sustain default
+		t.Fatalf("depth policy: want split on tick 3, got %d", got)
+	}
+	if got := firstSplit(costActs); got != 7 {
+		t.Fatalf("cost policy: want split deferred to tick 7, got %d", got)
+	}
+}
+
+// TestAutoShardCostPolicyInterval ensures the pool prices delay in real
+// sampled time: halving the interval halves each tick's accrual, so the
+// same schedule takes twice as many ticks to afford the split.
+func TestAutoShardCostPolicyInterval(t *testing.T) {
+	cfg := autoShardCfg(true)
+	cfg.Interval = 500 * time.Millisecond
+
+	rows := make([][]int64, 16)
+	for i := range rows {
+		rows[i] = []int64{8}
+	}
+	est := 5e-5 // each tick pools $4e-6; affordable on tick 13
+	acts := driveAutoShard(newAutoShardPolicy(cfg, est), shardmapOne(), rows)
+	for i, a := range acts {
+		switch {
+		case i+1 < 13 && a.splitShard != -1:
+			t.Fatalf("split on tick %d, before the pool covered the estimate", i+1)
+		case i+1 == 13 && a.splitShard != 0:
+			t.Fatalf("no split on tick 13 with the estimate covered")
+		}
+	}
+}
+
+func shardmapOne() *shardmap.Map {
+	m := shardmap.New(1)
+	m.Queues = 1
+	return m
+}

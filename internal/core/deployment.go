@@ -175,6 +175,26 @@ type Config struct {
 	// control-plane signals, function regardless of this flag.)
 	Telemetry bool
 
+	// CostAccounting enables per-request dollar attribution (package obs
+	// cost ledger): every pay-as-you-go charge a request causes — function
+	// GB-s, store read/write units, queue deliveries, cache hits, watch
+	// pushes, 2PC legs — is billed to its trace at the instant the charge
+	// occurs, and mirrored into the registry's cost gauges. Works with or
+	// without Telemetry (spans only carry per-stage costs when both are
+	// on). Default false: every attribution point is a nil-sink no-op and
+	// the golden virtual-time trace is byte-identical.
+	CostAccounting bool
+
+	// CostBudgetUSDPerHour arms the ledger's burn-rate monitor: spend is
+	// evaluated over tumbling CostBudgetWindow windows of virtual time and
+	// a window exceeding this hourly rate emits a breach gauge and an
+	// instant "cost.breach" span. 0 disarms (the default).
+	CostBudgetUSDPerHour float64
+
+	// CostBudgetWindow is the burn-rate evaluation window (default 1 s of
+	// virtual time).
+	CostBudgetWindow time.Duration
+
 	// Faults injects failures for resilience tests.
 	Faults Faults
 
@@ -199,6 +219,22 @@ type AutoShard struct {
 	SplitWays  int           // subtree split fanout (default 2)
 	MaxShards  int           // queue-count ceiling (default 8)
 	MergeIdle  int           // idle samples before merging a split; 0 = never
+
+	// CostAware replaces the raw depth thresholds with an economic
+	// objective: each sample accrues queue-delay cost
+	// (depth × Interval × DelayUSDPerItemSec) into a per-shard pool, a
+	// split is taken only once the hot shard's accumulated delay cost has
+	// paid for the estimated costmodel.ReshardCost of performing it, and
+	// an idle split is merged back only once the delay cost it absorbed
+	// since splitting covers both reshard operations — so a split that
+	// never earned its keep is kept (merging would spend reshard dollars
+	// to save nothing, and a re-split would spend them again).
+	CostAware bool
+
+	// DelayUSDPerItemSec prices one queued item-second of delay (the
+	// SLO-violation cost the policy weighs against reshard spend;
+	// default $1e-6 per item-second).
+	DelayUSDPerItemSec float64
 }
 
 func (a *AutoShard) defaults() {
@@ -219,6 +255,9 @@ func (a *AutoShard) defaults() {
 	}
 	if a.MaxShards > shardmap.MaxShards {
 		a.MaxShards = shardmap.MaxShards
+	}
+	if a.DelayUSDPerItemSec <= 0 {
+		a.DelayUSDPerItemSec = 1e-6
 	}
 }
 
@@ -389,7 +428,13 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 		phases:   map[string]*stats.Sample{},
 		lastSeq:  map[string]int64{},
 	}
-	d.Obs = obs.NewHub(k, cfg.Telemetry)
+	d.Obs = obs.NewHub(k, cfg.Telemetry, cfg.CostAccounting)
+	if cfg.CostBudgetUSDPerHour > 0 {
+		d.Obs.Cost.SetBudget(obs.Budget{
+			USDPerHour: cfg.CostBudgetUSDPerHour,
+			Window:     sim.Time(cfg.CostBudgetWindow),
+		})
+	}
 	d.System.SetCostCategory("syskv")
 	d.Locks = fksync.NewLockManager(env, d.System, cfg.LockLease)
 	d.Txns = txn.NewStore(d.System, k)
@@ -402,6 +447,12 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 		if cfg.CacheMode != CacheOff {
 			rc := cache.NewRegional(env, r, cfg.CacheCapacityB)
 			rc.SetWireCodec(cfg.codec)
+			if cfg.CostAccounting {
+				// Amortize the cache VM's hourly price over the regional
+				// hits it serves (only when accounting: accrual adds
+				// meter charges the seed experiments don't expect).
+				rc.EnableVMAccrual()
+			}
 			d.Caches = append(d.Caches, rc)
 		}
 	}

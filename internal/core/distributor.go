@@ -247,7 +247,7 @@ func (d *Deployment) leaderProcessBatched(ctx cloud.Ctx, msgs []decodedMsg, epoc
 		// first and the message runs through the per-message pipeline.
 		if dm.msg.Op == OpMulti || dm.msg.Op == OpTxnCommit {
 			flushRun()
-			completions = append(completions, d.leaderProcess(ctx, dm.msg, dm.txid, epochs)...)
+			completions = append(completions, d.leaderProcess(d.billMsg(ctx, dm.msg), dm.msg, dm.txid, epochs)...)
 			continue
 		}
 		// A reshard fence is a fold barrier too: the ack promises every
@@ -255,7 +255,7 @@ func (d *Deployment) leaderProcessBatched(ctx cloud.Ctx, msgs []decodedMsg, epoc
 		// before it is written.
 		if dm.msg.Op == OpReshardFence {
 			flushRun()
-			d.ackFence(ctx, dm.msg)
+			d.ackFence(d.billSys(ctx, dm.msg.Shard), dm.msg)
 			continue
 		}
 		run = append(run, dm)
@@ -269,10 +269,21 @@ func (d *Deployment) leaderProcessBatched(ctx cloud.Ctx, msgs []decodedMsg, epoc
 func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[string]int, epochs map[cloud.Region][]int64) []watchCompletion {
 	tBatch := d.K.Now()
 	fold := newBatchFold()
+	// The batch-level distribution serves the whole chunk at once: its
+	// charges amortize across the chunk's traces (untraced members keep
+	// their share in the system bucket). Commit phases stay per-message.
+	dctx := ctx
+	if d.costOn() {
+		traces := make([]int64, 0, len(msgs))
+		for _, dm := range msgs {
+			traces = append(traces, costMsgTrace(dm.msg))
+		}
+		dctx = d.billFold(ctx, traces, msgs[0].msg.Shard, "")
+	}
 	results := make([]opResult, 0, len(msgs))
 	for _, dm := range msgs {
 		t0 := d.K.Now()
-		results = append(results, d.commitOne(ctx, dm, fold, later, epochs))
+		results = append(results, d.commitOne(d.billMsg(ctx, dm.msg), dm, fold, later, epochs))
 		d.recordPhase("leader.commit", d.K.Now()-t0)
 	}
 
@@ -285,7 +296,7 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 		}
 	}
 	t0 := d.K.Now()
-	d.distributeFold(ctx, fold, epochs, false)
+	d.distributeFold(dctx, fold, epochs, false)
 	d.recordPhase("leader.update", d.K.Now()-t0)
 	fold.release()
 
@@ -298,7 +309,7 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 			// Processed only after the flush: the ack's shard-FIFO position
 			// put it behind the session's ephemeral deletions, and the
 			// flush just distributed them.
-			if d.deregAckComplete(ctx, r.msg) {
+			if d.deregAckComplete(d.billMsg(ctx, r.msg), r.msg) {
 				d.notifyResult(r.msg, r.txid, CodeOK, znode.Stat{})
 			}
 			continue
@@ -308,7 +319,8 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 				WatchID: fw.wid, Event: fw.event, Path: fw.path, Txid: r.txid, Sessions: fw.sessions,
 			}
 			sp := d.tspan(d.msgTrace(r.msg), obs.SpanWatchDeliver, fw.path, r.msg.Shard, "")
-			fut := d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload))
+			wctx := d.billSpan(ctx, costMsgTrace(r.msg), sp, r.msg.Shard, "")
+			fut := d.Platform.InvokeAsync(wctx, FnWatch, d.encodeWatchOwned(payload))
 			completions = append(completions, watchCompletion{wid: fw.wid, fut: fut, span: sp})
 		}
 		tn := d.K.Now()

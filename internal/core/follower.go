@@ -24,12 +24,24 @@ var errInjectedCrash = errors.New("core: injected follower crash")
 // to the leader queue (③), and commit it to the system store together with
 // the lock release (④).
 func (d *Deployment) followerHandler(inv *faas.Invocation) error {
+	var traces []int64
+	if d.costOn() {
+		// The sandbox's GB-s charge amortizes over the whole batch; the
+		// splitter is installed on exit so it covers exactly the requests
+		// that ran (including a partial batch ended by a crash).
+		defer func() { inv.Bill = d.invBill(traces, 0) }()
+	}
 	for _, m := range inv.Messages {
 		req, err := decodeRequestWith(d.Cfg.codec, m.Body)
 		if err != nil {
 			continue // malformed message: drop, never poison the queue
 		}
-		if err := d.processRequest(inv.Ctx, req); err != nil {
+		ctx := inv.Ctx
+		if d.costOn() {
+			traces = append(traces, costReqTrace(req))
+			ctx = d.billReq(ctx, req, 0)
+		}
+		if err := d.processRequest(ctx, req); err != nil {
 			return err
 		}
 	}
@@ -169,10 +181,11 @@ func (d *Deployment) followerSetData(ctx cloud.Ctx, req Request) error {
 	}
 	t0 := d.K.Now()
 	sp := d.reqSpan(req, obs.SpanFollowerCommit, r.shard)
+	cctx := d.billSpan(ctx, costReqTrace(req), sp, r.shard, "")
 	if guard := d.dynGuard(r.shard, r.gen); guard != nil {
-		err = d.Locks.CommitUnlockTxGuard(ctx, []fksync.TxPart{{Lock: lock, Updates: ups}}, guard)
+		err = d.Locks.CommitUnlockTxGuard(cctx, []fksync.TxPart{{Lock: lock, Updates: ups}}, guard)
 	} else {
-		_, err = d.Locks.CommitUnlock(ctx, lock, ups)
+		_, err = d.Locks.CommitUnlock(cctx, lock, ups)
 	}
 	d.spanEnd(sp)
 	d.recordPhase("follower.commit", d.K.Now()-t0)
@@ -289,7 +302,7 @@ func (d *Deployment) followerCreate(ctx cloud.Ctx, req Request) error {
 	// together (Section 3.1).
 	t0 := d.K.Now()
 	sp := d.reqSpan(req, obs.SpanFollowerCommit, r.shard)
-	err = d.Locks.CommitUnlockTxGuard(ctx, []fksync.TxPart{
+	err = d.Locks.CommitUnlockTxGuard(d.billSpan(ctx, costReqTrace(req), sp, r.shard, ""), []fksync.TxPart{
 		{Lock: nodeLock, Updates: createNodeUpdates(txid, owner)},
 		{Lock: parentLock, Updates: createParentUpdates(name, txid)},
 	}, d.dynGuard(r.shard, r.gen))
@@ -397,7 +410,7 @@ func (d *Deployment) followerDelete(ctx cloud.Ctx, req Request) (int, error) {
 	}
 	t0 := d.K.Now()
 	sp := d.reqSpan(req, obs.SpanFollowerCommit, r.shard)
-	err = d.Locks.CommitUnlockTxGuard(ctx, []fksync.TxPart{
+	err = d.Locks.CommitUnlockTxGuard(d.billSpan(ctx, costReqTrace(req), sp, r.shard, ""), []fksync.TxPart{
 		{Lock: nodeLock, Updates: deleteNodeUpdates(txid)},
 		{Lock: parentLock, Updates: deleteParentUpdates(name, txid)},
 	}, d.dynGuard(r.shard, r.gen))
@@ -552,6 +565,9 @@ func (d *Deployment) pushToLeader(ctx cloud.Ctx, msg leaderMsg) (routed, error) 
 // pushToShard sends the message to the shard already set on it.
 func (d *Deployment) pushToShard(ctx cloud.Ctx, msg leaderMsg) (routed, error) {
 	t0 := d.K.Now()
+	// Re-sink the bill so the queue-delivery cell is refined by the routed
+	// shard (the caller's sink knows the trace but not the route).
+	ctx = d.billMsg(ctx, msg)
 	e := wire.NewEncoder()
 	seqNo, err := d.LeaderQs[msg.Shard].Send(ctx, msg.Session, msg.encodeWith(d.Cfg.codec, e))
 	e.Release()

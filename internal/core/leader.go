@@ -55,6 +55,17 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 	if len(msgs) == 0 {
 		return nil
 	}
+	if d.costOn() {
+		traces := make([]int64, 0, len(msgs))
+		for _, dm := range msgs {
+			traces = append(traces, costMsgTrace(dm.msg))
+		}
+		// The sandbox's GB-s and the batch-shared work below (epoch loads,
+		// epoch removals after watch deliveries) amortize across the
+		// batch's requests; per-message phases re-sink to their own trace.
+		inv.Bill = d.invBill(traces, shard)
+		ctx = d.billFold(ctx, traces, shard, "")
+	}
 	// Crash at batch start, before any message is processed or any epoch
 	// entered: redelivery replays the whole batch through awaitCommit's
 	// orphan/TryCommit path. Later crash windows are unsafe to fake at
@@ -118,11 +129,11 @@ func (d *Deployment) leaderHandler(inv *faas.Invocation) error {
 				// Every earlier message of this serialized queue has been
 				// fully processed and distributed: release the reshard
 				// coordinator.
-				d.ackFence(ctx, dm.msg)
+				d.ackFence(d.billSys(ctx, shard), dm.msg)
 				continue
 			}
 			tTotal := d.K.Now()
-			comps := d.leaderProcess(ctx, dm.msg, dm.txid, epochs)
+			comps := d.leaderProcess(d.billMsg(ctx, dm.msg), dm.msg, dm.txid, epochs)
 			completions = append(completions, comps...)
 			d.recordPhase("leader.total", d.K.Now()-tTotal)
 		}
@@ -231,7 +242,10 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 			WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions,
 		}
 		sp := d.tspan(d.msgTrace(msg), obs.SpanWatchDeliver, f.path, msg.Shard, "")
-		fut := d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload))
+		// The delivery's whole cost — invocation, fan-out pushes, the watch
+		// sandbox's GB-s — rides the propagated sink into this span.
+		wctx := d.billSpan(ctx, costMsgTrace(msg), sp, msg.Shard, "")
+		fut := d.Platform.InvokeAsync(wctx, FnWatch, d.encodeWatchOwned(payload))
 		comps = append(comps, watchCompletion{wid: f.wid, fut: fut, span: sp})
 	}
 
@@ -485,6 +499,7 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 	}
 
 	tr := d.msgTrace(msg)
+	ctr := costMsgTrace(msg)
 	wg := sim.NewWaitGroup(d.K)
 	for _, s := range d.Stores {
 		s := s
@@ -499,17 +514,19 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 			// never re-fill the cache above the overwrite (package
 			// cache). A read in the window between the two sees exactly
 			// what the direct path would: the store's current value.
+			region := string(s.Region())
 			if rc := d.CacheFor(s.Region()); rc != nil {
-				sp := d.tspan(tr, obs.SpanCacheInval, msg.Path, msg.Shard, string(s.Region()))
-				rc.Invalidate(ctx, d.cacheInv(msg.Path, txid, stamp))
+				sp := d.tspan(tr, obs.SpanCacheInval, msg.Path, msg.Shard, region)
+				rc.Invalidate(d.billSpan(ctx, ctr, sp, msg.Shard, region), d.cacheInv(msg.Path, txid, stamp))
 				d.spanEnd(sp)
 			}
-			sp := d.tspan(tr, obs.SpanStoreWrite, msg.Path, msg.Shard, string(s.Region()))
+			sp := d.tspan(tr, obs.SpanStoreWrite, msg.Path, msg.Shard, region)
+			sctx := d.billSpan(ctx, ctr, sp, msg.Shard, region)
 			switch msg.Op {
 			case OpDelete:
-				_ = s.Delete(ctx, msg.Path)
+				_ = s.Delete(sctx, msg.Path)
 			default:
-				_ = s.Write(ctx, newNode, stamp)
+				_ = s.Write(sctx, newNode, stamp)
 			}
 			d.spanEnd(sp)
 			// Creates and deletes also change the parent's child list,
@@ -517,7 +534,7 @@ func (d *Deployment) updateUserStores(ctx cloud.Ctx, msg leaderMsg, txid int64, 
 			// cycle, because object stores lack partial updates
 			// (Section 3.2, Requirement #6).
 			if msg.ParentPath != "" && !sharedParent {
-				d.applyParentRMW(ctx, s, msg, txid, stamp)
+				d.applyParentRMW(d.billSpan(ctx, ctr, 0, msg.Shard, region), s, msg, txid, stamp)
 			}
 		})
 	}

@@ -76,9 +76,11 @@ const (
 	fenceKeyPrefix = "reshardfence:"
 )
 
-func fenceKey(id int64) string          { return fenceKeyPrefix + strconv.FormatInt(id, 10) }
-func fenceShardAttr(s int) string       { return "s" + strconv.Itoa(s) }
-func (d *Deployment) ctlCtx() cloud.Ctx { return cloud.ClientCtx(d.Cfg.Profile.Home) }
+func fenceKey(id int64) string    { return fenceKeyPrefix + strconv.FormatInt(id, 10) }
+func fenceShardAttr(s int) string { return "s" + strconv.Itoa(s) }
+func (d *Deployment) ctlCtx() cloud.Ctx {
+	return d.billSys(cloud.ClientCtx(d.Cfg.Profile.Home), 0)
+}
 
 // dynGuard returns the extra transaction leg pinning the routed shard's
 // map generation on a follower commit (nil on static deployments): the
@@ -302,11 +304,9 @@ func (d *Deployment) reshard(plan func(*shardmap.Map) (*shardmap.Map, error)) er
 // runs for the lifetime of the simulation — drive kernels hosting it with
 // RunFor, like deployments with a scheduled heartbeat.
 func (d *Deployment) autoShardMonitor() {
-	pol := d.Cfg.AutoShard
-	hotStreak := map[int]int{}
-	idleStreak := map[string]int{}
+	pol := newAutoShardPolicy(d.Cfg.AutoShard, d.reshardEstimateUSD())
 	for {
-		d.K.Sleep(pol.Interval)
+		d.K.Sleep(pol.cfg.Interval)
 		m := d.mapView()
 		// Publish every shard's sampled depth into the metrics registry
 		// (gauges record regardless of Config.Telemetry), then make every
@@ -318,51 +318,34 @@ func (d *Deployment) autoShardMonitor() {
 				int64(d.LeaderQs[s].Len()))
 		}
 		depth := func(s int) int64 {
+			if s >= len(d.LeaderQs) {
+				return 0
+			}
 			return d.Obs.Metrics.Gauge(obs.Key{Component: "leader", Name: "queue_depth", Shard: s})
 		}
-		acted := false
+		act := pol.step(m, depth)
+		// The economic signal the policy weighs, in micro-dollars (the
+		// same always-on gauge surface as the depth it derives from).
 		for s := 0; s < m.Queues && s < len(d.LeaderQs); s++ {
-			if depth(s) >= int64(pol.SplitDepth) {
-				hotStreak[s]++
-			} else {
-				hotStreak[s] = 0
-			}
-			if acted || hotStreak[s] < pol.Sustain {
-				continue
-			}
-			hotStreak[s] = 0
-			acted = true
+			d.Obs.Metrics.SetGauge(
+				obs.Key{Component: "autoshard", Name: "delay_cost_micro", Shard: s},
+				int64(pol.delayPool[s]*1e6))
+		}
+		if act.splitShard >= 0 {
+			s := act.splitShard
 			seg, segWrites, shardWrites := d.hottestSegment(m, s)
 			switch {
-			case seg != "" && 2*segWrites >= shardWrites && m.Queues+pol.SplitWays <= pol.MaxShards:
+			case seg != "" && 2*segWrites >= shardWrites && m.Queues+pol.cfg.SplitWays <= pol.cfg.MaxShards:
 				// One subtree dominates the hot shard: sub-split it so
 				// the load spreads without disturbing anything else.
-				_ = d.SplitSubtree("/"+seg, pol.SplitWays)
-			case m.Queues < pol.MaxShards:
+				_ = d.SplitSubtree("/"+seg, pol.cfg.SplitWays)
+			case m.Queues < pol.cfg.MaxShards:
 				// Diffuse load: add a queue and rebalance slots onto it.
 				_ = d.GrowShards(m.Queues + 1)
 			}
 		}
-		if pol.MergeIdle > 0 && !acted {
-			for _, sp := range m.Splits {
-				idle := true
-				for _, s := range sp.Shards {
-					if s < len(d.LeaderQs) && depth(s) > 0 {
-						idle = false
-						break
-					}
-				}
-				if idle {
-					idleStreak[sp.Prefix]++
-				} else {
-					idleStreak[sp.Prefix] = 0
-				}
-				if idleStreak[sp.Prefix] >= pol.MergeIdle {
-					idleStreak[sp.Prefix] = 0
-					_ = d.MergeSubtree(sp.Prefix)
-					break
-				}
-			}
+		if act.merge != "" {
+			_ = d.MergeSubtree(act.merge)
 		}
 		d.dyn.hot = map[string]int64{} // fresh sampling window
 	}

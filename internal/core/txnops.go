@@ -836,7 +836,7 @@ func (d *Deployment) multiFastPath(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 	}
 	t0 := d.K.Now()
 	sp := d.reqSpan(req, obs.SpanFollowerCommit, r.shard)
-	err = d.Locks.CommitUnlockTxGuard(ctx, parts, d.dynGuard(r.shard, r.gen))
+	err = d.Locks.CommitUnlockTxGuard(d.billSpan(ctx, costReqTrace(req), sp, r.shard, ""), parts, d.dynGuard(r.shard, r.gen))
 	d.spanEnd(sp)
 	d.recordPhase("follower.commit", d.K.Now()-t0)
 	if err != nil {
@@ -891,6 +891,9 @@ func (d *Deployment) multiTwoPhase(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 			defer wg.Done()
 			vsp := d.reqSpan(req, obs.SpanTxnVote, s)
 			defer d.spanEnd(vsp)
+			// The whole vote leg — intent conversions plus the recorded
+			// vote — bills into the per-shard vote span.
+			vctx := d.billSpan(ctx, costReqTrace(req), vsp, s, "")
 			verdict := "ok"
 			for _, it := range items {
 				var err error
@@ -901,10 +904,10 @@ func (d *Deployment) multiTwoPhase(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 				// transactions), so the guard only needs to reject a plan
 				// routed with a superseded map.
 				if guard := d.dynGuardMV(plan.mv, s); guard != nil {
-					err = d.Locks.CommitUnlockTxGuard(ctx,
+					err = d.Locks.CommitUnlockTxGuard(vctx,
 						[]fksync.TxPart{{Lock: it.lock, Updates: ups}}, guard)
 				} else {
-					_, err = d.Locks.CommitUnlock(ctx, it.lock, ups)
+					_, err = d.Locks.CommitUnlock(vctx, it.lock, ups)
 				}
 				if err != nil {
 					verdict = "fail:" + string(CodeSystemError)
@@ -912,7 +915,7 @@ func (d *Deployment) multiTwoPhase(ctx cloud.Ctx, req Request, reqOps []txn.Op) 
 				}
 				it.intent = true
 			}
-			_, _ = d.Txns.Vote(ctx, id, s, verdict)
+			_, _ = d.Txns.Vote(vctx, id, s, verdict)
 		})
 	}
 	wg.Wait()
@@ -1259,7 +1262,7 @@ func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg,
 	for _, f := range fired {
 		payload := watchPayload{WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions}
 		sp := d.tspan(d.msgTrace(msg), obs.SpanWatchDeliver, f.path, msg.Shard, "")
-		fut := d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload))
+		fut := d.Platform.InvokeAsync(d.billSpan(ctx, costMsgTrace(msg), sp, msg.Shard, ""), FnWatch, d.encodeWatchOwned(payload))
 		comps = append(comps, watchCompletion{wid: f.wid, fut: fut, span: sp})
 	}
 
@@ -1304,8 +1307,11 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 	}
 	// The shard's whole commit phase is one child span of the originating
 	// multi()'s tree (msgTrace resolves OpTxnCommit to that trace): the
-	// per-shard legs of a cross-shard 2PC show up side by side.
+	// per-shard legs of a cross-shard 2PC show up side by side. Its
+	// charges — head polls, watch claims, pending pops, the ready marker —
+	// bill into the same span.
 	ssp := d.tspan(d.msgTrace(msg), obs.SpanTxnShard, msg.Path, msg.Shard, "")
+	ctx = d.billSpan(ctx, costMsgTrace(msg), ssp, msg.Shard, "")
 	t0 := d.K.Now()
 	_, ok := d.awaitTxnHeads(ctx, msg.Op, tm, txid, msg.Shard, dynGen(msg))
 	d.recordPhase("leader.get", d.K.Now()-t0)
@@ -1346,6 +1352,7 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 		// writes for watch-heavy transactional workloads.
 		fired := fired
 		tr := d.msgTrace(msg)
+		ctr := costMsgTrace(msg)
 		d.txnWatchBatches++
 		d.txnWatchDeliveries += int64(len(fired))
 		d.K.Go("txn-watch-batch", func() {
@@ -1364,8 +1371,9 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 			spans := make([]int64, 0, len(fired))
 			for _, f := range fired {
 				payload := watchPayload{WatchID: f.wid, Event: f.event, Path: f.path, Txid: txid, Sessions: f.sessions}
-				spans = append(spans, d.tspan(tr, obs.SpanWatchDeliver, f.path, msg.Shard, ""))
-				futs = append(futs, d.Platform.InvokeAsync(ctx, FnWatch, d.encodeWatchOwned(payload)))
+				sp := d.tspan(tr, obs.SpanWatchDeliver, f.path, msg.Shard, "")
+				spans = append(spans, sp)
+				futs = append(futs, d.Platform.InvokeAsync(d.billSpan(ctx, ctr, sp, msg.Shard, ""), FnWatch, d.encodeWatchOwned(payload)))
 				wids = append(wids, f.wid)
 			}
 			for i, fut := range futs {

@@ -45,6 +45,10 @@ func (d *Deployment) watchHandler(inv *faas.Invocation) error {
 func (d *Deployment) heartbeatHandler(inv *faas.Invocation) error {
 	t0 := d.K.Now()
 	defer func() { d.recordPhase("heartbeat.total", d.K.Now()-t0) }()
+	// Heartbeat work (and the sandbox's own GB-s) is system overhead: no
+	// single request caused it, so it bills the ledger's trace-0 bucket.
+	inv.Ctx = d.billSys(inv.Ctx, 0)
+	inv.Bill = inv.Ctx.Bill
 	items := d.System.Scan(inv.Ctx)
 	type probe struct {
 		session string

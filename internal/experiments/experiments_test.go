@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
 		"tab3", "fig11", "fig12", "fig13", "tab4", "fig14", "sec532x",
 		"ablations", "sharding", "caching", "batching", "txn", "reshard",
-		"telemetry", "chaos",
+		"telemetry", "chaos", "cost",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -577,5 +577,46 @@ func TestTelemetryBreakdownValid(t *testing.T) {
 	}
 	if !(q["4 shards"] < q["1 shards"]) {
 		t.Errorf("queueing mean should drop with shards: %v", q)
+	}
+}
+
+func TestCostLiveMeasuredAndConserved(t *testing.T) {
+	rep := runQuick(t, "cost")
+	if len(rep.Sections) != 2 {
+		t.Fatalf("expected per-config and load-sweep sections, got %d", len(rep.Sections))
+	}
+	// Every config must bill real dollars, conserve its ledger, and the
+	// headline shape must hold: pay-as-you-go undercuts the provisioned
+	// ensemble at low load and overtakes it at high load (a break-even
+	// exists inside the sweep).
+	per1m := map[string]float64{}
+	for _, row := range rep.Sections[0].Rows {
+		v, err := strconv.ParseFloat(strings.TrimPrefix(row[2], "$"), 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("config %s: bad $/1M %q", row[0], row[2])
+		}
+		per1m[row[0]] = v
+		if row[len(row)-1] != "yes" {
+			t.Errorf("config %s: conservation check failed: %v", row[0], row)
+		}
+	}
+	if len(per1m) != len(costConfigMatrix) {
+		t.Fatalf("expected %d configs, got %d", len(costConfigMatrix), len(per1m))
+	}
+	sweep := rep.Sections[1].Rows
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimPrefix(s, "$"), 64)
+		if err != nil {
+			t.Fatalf("bad dollar cell %q", s)
+		}
+		return v
+	}
+	first, last := sweep[0], sweep[len(sweep)-1]
+	zk := len(first) - 1
+	if !(parse(first[1]) < parse(first[zk])) {
+		t.Errorf("at %s req/day the plain config should undercut ZooKeeper: %v", first[0], first)
+	}
+	if !(parse(last[1]) > parse(last[zk])) {
+		t.Errorf("at %s req/day the plain config should exceed ZooKeeper: %v", last[0], last)
 	}
 }

@@ -142,7 +142,7 @@ func Connect(d *core.Deployment, id string, region cloud.Region) (*Client, error
 	c := &Client{
 		d:         d,
 		id:        id,
-		ctx:       cloud.ClientCtx(region),
+		ctx:       d.BillSystemCtx(cloud.ClientCtx(region)),
 		store:     d.StoreFor(region),
 		transport: d.Connect(id, region),
 		submitQ:   sim.NewQueue[*pendingOp](d.K),
@@ -214,7 +214,8 @@ func (c *Client) senderLoop() {
 			return
 		}
 		e := wire.NewEncoder()
-		_, err := c.transport.Queue.Send(c.ctx, c.id, op.req.EncodeWith(c.codec, e))
+		// The ingress send is the first charge of the request's bill.
+		_, err := c.transport.Queue.Send(c.d.BillRequestCtx(c.ctx, op.req), c.id, op.req.EncodeWith(c.codec, e))
 		e.Release()
 		if err != nil {
 			op.done.TryComplete(core.Response{

@@ -36,7 +36,7 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 			cat = "request"
 		}
 		var args map[string]any
-		if sp.Path != "" || sp.Region != "" || sp.Shard != 0 {
+		if sp.Path != "" || sp.Region != "" || sp.Shard != 0 || sp.CostPd != 0 {
 			args = map[string]any{}
 			if sp.Path != "" {
 				args["path"] = sp.Path
@@ -46,6 +46,9 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 			}
 			if sp.Shard != 0 {
 				args["shard"] = sp.Shard
+			}
+			if sp.CostPd != 0 {
+				args["cost_usd"] = PdToUSD(sp.CostPd)
 			}
 		}
 		evs = append(evs, chromeEvent{

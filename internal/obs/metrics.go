@@ -164,24 +164,30 @@ func (r *Registry) HistKeys() []Key {
 	return sortKeys(ks)
 }
 
-// Hub bundles one deployment's tracer and registry.
+// Hub bundles one deployment's tracer, registry, and cost ledger.
 type Hub struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	Cost    *CostLedger
 }
 
-// NewHub wires a registry and a tracer over it. telemetry gates the
-// hot-path instruments of both.
-func NewHub(clock sim.Clock, telemetry bool) *Hub {
+// NewHub wires a registry, a tracer over it, and a cost ledger. telemetry
+// gates the hot-path instruments of the first two; cost gates the ledger
+// independently, so a deployment can account dollars without recording
+// spans (the ledger's gauge mirror rides the always-on gauge side).
+func NewHub(clock sim.Clock, telemetry, cost bool) *Hub {
 	reg := NewRegistry(telemetry)
-	return &Hub{Tracer: NewTracer(clock, reg, telemetry), Metrics: reg}
+	tr := NewTracer(clock, reg, telemetry)
+	return &Hub{Tracer: tr, Metrics: reg, Cost: NewCostLedger(clock, reg, tr, cost)}
 }
 
-// Reset clears spans and metrics (the experiment warm-up boundary).
+// Reset clears spans, metrics, and the cost ledger (the experiment
+// warm-up boundary).
 func (h *Hub) Reset() {
 	if h == nil {
 		return
 	}
 	h.Tracer.Reset()
 	h.Metrics.Reset()
+	h.Cost.Reset()
 }

@@ -72,7 +72,14 @@ type Span struct {
 	Region string   `json:"region,omitempty"`
 	Start  sim.Time `json:"start_ns"`
 	End    sim.Time `json:"end_ns"`
+	// CostPd is the pay-as-you-go cost attributed to this span, in integer
+	// picodollars (1e-12 USD; see CostLedger). Span costs telescope like
+	// durations: a trace's spans sum exactly to its ledger total.
+	CostPd int64 `json:"cost_pd,omitempty"`
 }
+
+// CostUSD converts the span's attributed cost to dollars.
+func (s Span) CostUSD() float64 { return PdToUSD(s.CostPd) }
 
 // Tracer records spans against a virtual clock. The zero of every method
 // is a no-op when the tracer is disabled or nil, costing nothing on the
@@ -86,6 +93,7 @@ type Tracer struct {
 	open    map[int64]*Span
 	roots   map[int64]int64 // trace -> root span id (kept after Finish for late children)
 	cur     map[int64]int64 // trace -> currently open stage span id
+	late    map[int64]int64 // trace -> cost (pd) charged after the trace finished
 	errs    []string
 }
 
@@ -100,6 +108,7 @@ func NewTracer(clock sim.Clock, reg *Registry, enabled bool) *Tracer {
 		open:    map[int64]*Span{},
 		roots:   map[int64]int64{},
 		cur:     map[int64]int64{},
+		late:    map[int64]int64{},
 	}
 }
 
@@ -215,6 +224,52 @@ func (t *Tracer) End(id int64) {
 	t.close(id)
 }
 
+// AddCost attributes pd picodollars of pay-as-you-go cost to a span of
+// the trace, at the instant the underlying charge occurs. With a non-zero
+// span handle (an open concurrent leg — a store write, a watch delivery,
+// a 2PC vote) the cost lands on that span; otherwise it lands on the
+// trace's currently open stage, so stage costs telescope to the request
+// total exactly as stage durations do. A charge arriving after the trace
+// finished (the leader's post-respond bookkeeping) is parked and joined
+// onto the root span at export time, keeping the per-trace sum exact.
+func (t *Tracer) AddCost(trace, span, pd int64) {
+	if !t.Enabled() || pd == 0 {
+		return
+	}
+	if span != 0 {
+		if sp, ok := t.open[span]; ok {
+			sp.CostPd += pd
+			return
+		}
+	}
+	if trace == 0 {
+		return
+	}
+	if cur, ok := t.cur[trace]; ok {
+		if sp, live := t.open[cur]; live {
+			sp.CostPd += pd
+			return
+		}
+	}
+	if _, known := t.roots[trace]; known {
+		t.late[trace] += pd
+	}
+}
+
+// joinLate folds parked post-finish costs onto each trace's root span in
+// an exported copy (the live records stay untouched so exports are
+// idempotent).
+func (t *Tracer) joinLate(out []Span) {
+	if len(t.late) == 0 {
+		return
+	}
+	for i := range out {
+		if pd := t.late[out[i].Trace]; pd != 0 && out[i].ID == t.roots[out[i].Trace] {
+			out[i].CostPd += pd
+		}
+	}
+}
+
 // Spans returns the closed spans in closing order.
 func (t *Tracer) Spans() []Span {
 	if t == nil {
@@ -222,6 +277,7 @@ func (t *Tracer) Spans() []Span {
 	}
 	out := make([]Span, len(t.closed))
 	copy(out, t.closed)
+	t.joinLate(out)
 	return out
 }
 
@@ -237,6 +293,7 @@ func (t *Tracer) TraceSpans(trace int64) []Span {
 			out = append(out, sp)
 		}
 	}
+	t.joinLate(out)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
@@ -288,6 +345,7 @@ func (t *Tracer) Reset() {
 	t.open = map[int64]*Span{}
 	t.roots = map[int64]int64{}
 	t.cur = map[int64]int64{}
+	t.late = map[int64]int64{}
 }
 
 // Canonical stage and child-span names, shared by the pipeline
@@ -311,4 +369,6 @@ const (
 	SpanWatchDeliver   = "watch.deliver" // watch function invocation + delivery
 	SpanTxnVote        = "txn.vote"      // one shard's intent conversion + vote
 	SpanTxnShard       = "txn.shard"     // one shard leader's commit leg
+
+	SpanCostBreach = "cost.breach" // budget monitor burn-rate breach (instant)
 )

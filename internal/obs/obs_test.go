@@ -164,7 +164,7 @@ func TestRegistryInstruments(t *testing.T) {
 // early return.
 func TestDisabledPathAllocatesNothing(t *testing.T) {
 	clk := &fakeClock{}
-	h := NewHub(clk, false)
+	h := NewHub(clk, false, false)
 	trace := TraceOf("s", 9)
 	if allocs := testing.AllocsPerRun(200, func() {
 		h.Tracer.StartRequest(trace, "set_data", "/a")
