@@ -19,6 +19,7 @@ import (
 	"faaskeeper/internal/experiments"
 	"faaskeeper/internal/fkclient"
 	"faaskeeper/internal/sim"
+	"faaskeeper/internal/watchfanout"
 	"faaskeeper/internal/znode"
 )
 
@@ -561,4 +562,60 @@ func BenchmarkFKCost(b *testing.B) {
 		k.Shutdown()
 	}
 	b.ReportMetric(per1m, "usd-per-1m/op")
+}
+
+// BenchmarkFKWatchFanout measures the hierarchical watch fan-out tier on
+// a hot path with 10k persistent watchers (one real session plus
+// synthetic registrations at the regional fan-out node): 50 writes of
+// 128 B per iteration, reporting the attributed dollar cost per 1M
+// watched writes and the node-side deliveries each write fans out to.
+// Virtual time and pricing are fully deterministic, so the benchjson
+// gate on BENCH_fanout.json fails on >15% drift of usd-per-1m/op in
+// either direction — the leader-side O(1) publish cost cannot silently
+// regress back to per-watcher enumeration.
+func BenchmarkFKWatchFanout(b *testing.B) {
+	const watchers = 10_000
+	b.ReportAllocs()
+	var per1m, deliveries float64
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		d := core.NewDeployment(k, core.Config{
+			CostAccounting: true,
+			UserStore:      core.StoreKV,
+			WatchFanout:    true,
+		})
+		home := d.Cfg.Profile.Home
+		var writes int64
+		k.Go("bench", func() {
+			c, err := fkclient.Connect(d, "bench", home)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Create("/hot", nil, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.AddWatch("/hot", fkclient.WatchOptions{}, func(core.Notification) {}); err != nil {
+				b.Fatal(err)
+			}
+			node := d.FanoutFor(home)
+			node.BulkRegister("/hot", watchfanout.KindPersistent, watchfanout.PolicyImmediate, 0,
+				core.WatchID("/hot", core.WatchPersistent), watchers-1)
+			d.ResetMetrics()
+			payload := make([]byte, 128)
+			for j := 0; j < 50; j++ {
+				if _, err := c.SetData("/hot", payload, -1); err != nil {
+					b.Fatal(err)
+				}
+				writes++
+			}
+			k.Sleep(time.Second) // drain debounce slots and delivery workers
+			per1m = d.Obs.Cost.TotalUSD() / float64(writes) * 1e6
+			deliveries = float64(node.Stats().Deliveries) / float64(writes)
+		})
+		k.Run()
+		k.Shutdown()
+	}
+	b.ReportMetric(per1m, "usd-per-1m/op")
+	b.ReportMetric(deliveries, "deliveries/op")
 }

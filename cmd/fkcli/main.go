@@ -24,6 +24,10 @@
 // matrix config — or all of them — and prints the checker verdict with a
 // deterministic replay command on failure.
 //
+// Another, `fkcli -watchers N`, runs the watch fan-out experiment with N
+// persistent watchers on one hot path and prints the leader-cost table —
+// the quickest way to see the O(1) publish cost at any population size.
+//
 // -trace FILE enables the telemetry subsystem and writes a Chrome
 // trace-event JSON file on exit (open it in chrome://tracing or Perfetto).
 //
@@ -40,6 +44,7 @@ import (
 	"time"
 
 	"faaskeeper"
+	"faaskeeper/internal/experiments"
 	"faaskeeper/internal/obs"
 )
 
@@ -54,11 +59,17 @@ func main() {
 	metricsFile := flag.String("metrics", "", "enable cost accounting and write a Prometheus-text registry snapshot on exit")
 	faults := flag.String("faults", "default", "chaos mode fault schedule: off|default")
 	quick := flag.Bool("quick", false, "chaos mode: smaller workload per scenario")
+	watchers := flag.Int("watchers", 0, "run the watch fan-out experiment with N persistent watchers and exit")
 	flag.Parse()
 	args := flag.Args()
+	if *watchers > 0 {
+		fmt.Print(experiments.RunWatchFanoutAt(*seed, *watchers).Render())
+		return
+	}
 	if len(args) == 0 {
 		fmt.Println("usage: fkcli [flags] CMD ARGS [: CMD ARGS]...")
 		fmt.Println("       fkcli [-seed N] [-faults off|default] [-quick] chaos [CONFIG]")
+		fmt.Println("       fkcli [-seed N] -watchers N")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

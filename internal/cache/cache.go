@@ -336,6 +336,31 @@ func (r *Regional) Warmup(ctx cloud.Ctx, k int) []WarmEntry {
 	return out
 }
 
+// WarmupPaths is Warmup for an explicit path list — the watch-set
+// warm-up: a reconnecting session prefetches exactly the paths its
+// durable persistent-watch registrations name, rather than the node's
+// global MRU hot set. Same single MGET-style round trip; paths the node
+// does not hold are simply absent from the result.
+func (r *Regional) WarmupPaths(ctx cloud.Ctx, paths []string) []WarmEntry {
+	p := r.env.Profile
+	r.lat(ctx, p.MemReadBase, 0, 0)
+	out := make([]WarmEntry, 0, len(paths))
+	size := 0
+	for _, path := range paths {
+		e, ok := r.lru.Get(path)
+		if !ok {
+			continue
+		}
+		out = append(out, WarmEntry{Path: path, Entry: e})
+		size += len(e.Blob)
+	}
+	if size > 0 {
+		r.lat(ctx, sim.Const(0), p.MemReadPerKB, size)
+	}
+	r.chargeOp(ctx, "cache.read")
+	return out
+}
+
 // Lose simulates the cache node's process dying and restarting empty:
 // cached entries, per-path invalidation floors, and the global fold floor
 // are all gone, as they would be for any in-memory node. Safety survives

@@ -183,3 +183,39 @@ func TestChaosInjectsFaults(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosFanoutWatchesExercised guards the fanout config against
+// passing vacuously: the persistent and recursive watchers must have
+// armed and actually received deliveries, so the coverage rule judged a
+// non-empty fire set.
+func TestChaosFanoutWatchesExercised(t *testing.T) {
+	res := Run(scenarioFor(11, "fanout"))
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Errorf("%s", v)
+		}
+	}
+	arms := map[string]int{}
+	firesBy := map[string]int{}
+	for _, e := range res.History.Events {
+		if !e.Persistent {
+			continue
+		}
+		switch e.Kind {
+		case KindWatchArm:
+			if e.Err == "" {
+				arms[e.Session]++
+			}
+		case KindWatchFire:
+			firesBy[e.Session]++
+		}
+	}
+	for _, id := range []string{"pwatch", "rwatch"} {
+		if arms[id] != 1 {
+			t.Errorf("%s: want 1 successful persistent arm, got %d", id, arms[id])
+		}
+		if firesBy[id] == 0 {
+			t.Errorf("%s: persistent watch armed but never delivered", id)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"faaskeeper/internal/sim"
 	"faaskeeper/internal/stats"
 	"faaskeeper/internal/txn"
+	"faaskeeper/internal/watchfanout"
 	"faaskeeper/internal/wire"
 	"faaskeeper/internal/znode"
 )
@@ -151,6 +152,27 @@ type Config struct {
 	// seeding the session's per-path floors so the first read of a hot
 	// path is already a hit. Default 0 — cold connects, as in the paper.
 	CacheWarmK int
+
+	// WatchFanout enables the hierarchical watch fan-out tier (package
+	// watchfanout): instead of enumerating watching sessions inside the
+	// write hot path, the leader publishes ONE notification record per
+	// (path, txid) to each region's fan-out node — colocated with the
+	// regional cache — and the node owns the per-session delivery with
+	// per-watch debounce/coalesce policies, plus ZooKeeper 3.6-style
+	// persistent and recursive watches (Deployment.AddWatch). Watch
+	// registration and matching move off the system store entirely, so
+	// the leader's per-write watch work is O(1) in watcher count. The
+	// epoch-stamp read gate (Z4) is preserved: a watch id enters the
+	// shard epoch list when its first firing is published and leaves when
+	// its last in-flight firing is delivered or coalesced into a newer
+	// one. Default false — the paper's per-watcher delivery path,
+	// byte-identical to the golden trace.
+	WatchFanout bool
+
+	// FanoutDebounce is the latest-wins coalescing window applied by
+	// fan-out nodes to PolicyCoalesce registrations (default 10ms). Only
+	// meaningful with WatchFanout.
+	FanoutDebounce time.Duration
 
 	// WireCodec selects the serialization of the hot message types
 	// (session-queue requests, leader messages, transaction payloads,
@@ -336,6 +358,9 @@ func (c *Config) defaults() {
 	if c.CacheTTL <= 0 {
 		c.CacheTTL = 5 * time.Second
 	}
+	if c.FanoutDebounce <= 0 {
+		c.FanoutDebounce = 10 * time.Millisecond
+	}
 	codec, err := wire.Parse(c.WireCodec)
 	if err != nil {
 		// A typo must not silently deploy the slow path as if it were
@@ -371,6 +396,10 @@ type Deployment struct {
 	// Caches holds one regional cache node per user store (aligned with
 	// Stores); empty when CacheMode is CacheOff.
 	Caches []*cache.Regional
+
+	// Fanouts holds one watch fan-out node per user store (aligned with
+	// Stores); empty unless Cfg.WatchFanout.
+	Fanouts []*watchfanout.Node
 
 	// LeaderQs holds one ordered queue per write shard; LeaderQs[s] feeds
 	// shard s's serialized leader instance. A single-shard deployment has
@@ -454,6 +483,28 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 				rc.EnableVMAccrual()
 			}
 			d.Caches = append(d.Caches, rc)
+		}
+		if cfg.WatchFanout {
+			region := r
+			fn := watchfanout.New(env, region,
+				func(session string, wid int64, ev watchfanout.Event, path string, txid int64) {
+					n := Notification{WatchID: wid, Event: EventType(ev), Path: path, Txid: txid}
+					d.notify(session, n, n.wireSize())
+				},
+				func(shard int, wid int64) {
+					// The watch's last in-flight firing is done: retire it
+					// from this region's shard epoch list so the read gate
+					// stops holding for it.
+					_, _ = d.System.Update(d.BillSystemCtx(cloud.ClientCtx(region)),
+						epochKey(region, shard),
+						[]kv.Update{kv.ListRemove{Name: attrEpochList, Vals: []int64{wid}}}, nil)
+				},
+				sim.Time(cfg.FanoutDebounce))
+			if cfg.CostAccounting {
+				fn.EnableVMAccrual()
+				fn.SetBillCtx(d.BillSystemCtx(cloud.ClientCtx(region)))
+			}
+			d.Fanouts = append(d.Fanouts, fn)
 		}
 	}
 
@@ -574,6 +625,20 @@ func (d *Deployment) CacheFor(region cloud.Region) *cache.Regional {
 	return d.Caches[0]
 }
 
+// FanoutFor returns the watch fan-out node local to a region (nil when
+// the tier is off), with the same closest-replica fallback as StoreFor.
+func (d *Deployment) FanoutFor(region cloud.Region) *watchfanout.Node {
+	if len(d.Fanouts) == 0 {
+		return nil
+	}
+	for _, n := range d.Fanouts {
+		if n.Region() == region {
+			return n
+		}
+	}
+	return d.Fanouts[0]
+}
+
 // Connect provisions the cloud-side transport for a new session: a FIFO
 // request queue with a follower trigger (one concurrent instance per
 // session preserves the session's FIFO order while different sessions
@@ -686,6 +751,15 @@ func (d *Deployment) RegisterSession(ctx cloud.Ctx, sessionID string) error {
 // ordering. Registration is a single system-store write (Section 4.1:
 // "adding insignificant cost").
 func (d *Deployment) RegisterWatch(ctx cloud.Ctx, path string, wt WatchType, sessionID string) (int64, error) {
+	if d.fanoutOn() {
+		// The fan-out tier owns all registrations: one-shot watches keep
+		// their exact client-visible semantics but live on the regional
+		// node instead of the system store.
+		return d.fanoutRegister(ctx, path, wt, sessionID, watchfanout.PolicyImmediate, 0)
+	}
+	if wt >= WatchPersistent {
+		return 0, ErrFanoutOff
+	}
 	attr := watchAttr(wt)
 	_, err := d.System.Update(ctx, watchKey(path),
 		[]kv.Update{kv.StrListAppend{Name: attr, Vals: []string{sessionID}}}, nil)

@@ -314,6 +314,11 @@ func (d *Deployment) flushBatch(ctx cloud.Ctx, msgs []decodedMsg, later map[stri
 			}
 			continue
 		}
+		if d.fanoutOn() && r.code == CodeOK {
+			// The batch's writes are readable: release this operation's
+			// parked firings at the fan-out nodes.
+			d.fanoutRelease(ctx, r.txid)
+		}
 		for _, fw := range r.fired {
 			payload := watchPayload{
 				WatchID: fw.wid, Event: fw.event, Path: fw.path, Txid: r.txid, Sessions: fw.sessions,
@@ -366,8 +371,15 @@ func (d *Deployment) commitOne(ctx cloud.Ctx, dm decodedMsg, fold *batchFold, la
 	}
 
 	t0 = d.K.Now()
-	fired := d.queryWatches(ctx, msg)
-	d.appendEpochs(ctx, fired, msg.Shard, epochs)
+	var fired []firedWatch
+	if d.fanoutOn() {
+		// One record per (path, txid) to the fan-out nodes; released
+		// after the batch's distribution (see flushBatch).
+		d.fanoutPublish(ctx, msg, txid, epochs)
+	} else {
+		fired = d.queryWatches(ctx, msg)
+		d.appendEpochs(ctx, fired, msg.Shard, epochs)
+	}
 	d.recordPhase("leader.watchquery", d.K.Now()-t0)
 
 	var stat znode.Stat

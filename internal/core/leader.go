@@ -210,7 +210,16 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 	// original distribute-then-query order.
 	preFire := d.NumShards() > 1
 	var fired []firedWatch
-	if preFire {
+	if d.fanoutOn() {
+		// Fan-out tier: one notification record per (path, txid) to the
+		// regional nodes — published before distribution so the epoch
+		// stamps land in the value writes (Z4), exactly like the
+		// pre-fire path. The node owns delivery; the leader never
+		// enumerates sessions and launches no watch function.
+		t0 = d.K.Now()
+		d.fanoutPublish(ctx, msg, txid, epochs)
+		d.recordPhase("leader.watchquery", d.K.Now()-t0)
+	} else if preFire {
 		t0 = d.K.Now()
 		fired = d.queryWatches(ctx, msg)
 		d.appendEpochs(ctx, fired, msg.Shard, epochs)
@@ -225,7 +234,10 @@ func (d *Deployment) leaderProcess(ctx cloud.Ctx, msg leaderMsg, txid int64, epo
 	d.recordPhase("leader.update", d.K.Now()-t0)
 
 	// ➍ Query watches (if not pre-claimed above) and launch deliveries.
-	if !preFire {
+	if d.fanoutOn() {
+		// The change is readable everywhere: let the nodes deliver.
+		d.fanoutRelease(ctx, txid)
+	} else if !preFire {
 		t0 = d.K.Now()
 		fired = d.queryWatches(ctx, msg)
 		d.recordPhase("leader.watchquery", d.K.Now()-t0)

@@ -1246,7 +1246,13 @@ func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg,
 		if !op.Effectful() {
 			continue
 		}
-		f := d.queryWatches(ctx, opMsgView(op))
+		view := opMsgView(op)
+		view.Shard = msg.Shard
+		if d.fanoutOn() {
+			d.fanoutPublish(ctx, view, txid, epochs)
+			continue
+		}
+		f := d.queryWatches(ctx, view)
 		d.appendEpochs(ctx, f, msg.Shard, epochs)
 		fired = append(fired, f...)
 	}
@@ -1257,6 +1263,11 @@ func (d *Deployment) leaderProcessMulti(ctx cloud.Ctx, msg leaderMsg, tm txnMsg,
 	t0 = d.K.Now()
 	d.distributeFold(ctx, fold, epochs, true)
 	d.recordPhase("leader.update", d.K.Now()-t0)
+	if d.fanoutOn() {
+		// The whole multi() is applied atomically above: every sub-op's
+		// parked firings share this txid and release together.
+		d.fanoutRelease(ctx, txid)
+	}
 
 	var comps []watchCompletion
 	for _, f := range fired {
@@ -1323,11 +1334,19 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 	}
 	t0 = d.K.Now()
 	var fired []firedWatch
+	fanoutPublished := false
 	for _, op := range tm.Ops {
 		if !op.Effectful() {
 			continue
 		}
-		f := d.queryWatches(ctx, opMsgView(op))
+		view := opMsgView(op)
+		view.Shard = msg.Shard
+		if d.fanoutOn() {
+			d.fanoutPublish(ctx, view, txid, epochs)
+			fanoutPublished = true
+			continue
+		}
+		f := d.queryWatches(ctx, view)
 		d.appendEpochs(ctx, f, msg.Shard, epochs)
 		fired = append(fired, f...)
 	}
@@ -1340,6 +1359,20 @@ func (d *Deployment) leaderTxnCommit(ctx cloud.Ctx, msg leaderMsg, tm txnMsg, tx
 	}
 	_, _ = d.Txns.Ready(ctx, tm.ID, msg.Shard)
 	d.spanEnd(ssp)
+	if fanoutPublished {
+		// Fan-out tier: the release defers itself until the coordinator's
+		// atomic apply makes the transaction readable — the same ordering
+		// the legacy post-apply delivery batch below enforces. The nodes
+		// own delivery and epoch exit from there.
+		d.K.Go("txn-fanout-release", func() {
+			for {
+				if _, _, ok := d.Txns.AwaitStatus(ctx, tm.ID, txn.StatusApplied); ok {
+					break
+				}
+			}
+			d.fanoutRelease(ctx, txid)
+		})
+	}
 	if len(fired) > 0 {
 		// One post-apply delivery batch for the whole shard: a single
 		// goroutine polls the record once (instead of one poller per

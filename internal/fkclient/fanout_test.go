@@ -1,0 +1,239 @@
+package fkclient
+
+// End-to-end tests of the hierarchical watch fan-out tier
+// (Config.WatchFanout): one-shot parity, persistent and recursive
+// watches, latest-wins coalescing with the Z4 read gate, and the
+// watch-set cache warm-up satellite.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"faaskeeper/internal/core"
+	"faaskeeper/internal/sim"
+	"faaskeeper/internal/watchfanout"
+)
+
+func fanoutCfg() core.Config {
+	return core.Config{WatchFanout: true}
+}
+
+func TestFanoutOneShotParity(t *testing.T) {
+	run(t, 21, fanoutCfg(), func(k *sim.Kernel, d *core.Deployment) {
+		c := mustConnect(t, d, "s1")
+		w := mustConnect(t, d, "s2")
+		if _, err := c.Create("/n", []byte("v1"), 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		var fires []core.Notification
+		if _, _, err := w.GetDataW("/n", func(n core.Notification) {
+			fires = append(fires, n)
+		}); err != nil {
+			t.Fatalf("getw: %v", err)
+		}
+		if _, err := c.SetData("/n", []byte("v2"), -1); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+		if _, err := c.SetData("/n", []byte("v3"), -1); err != nil {
+			t.Fatalf("set2: %v", err)
+		}
+		k.Sleep(sim.Ms(2000))
+		if len(fires) != 1 || fires[0].Event != core.EventDataChanged || fires[0].Path != "/n" {
+			t.Fatalf("one-shot fires = %+v, want exactly one data event", fires)
+		}
+		// Leader-side: with the tier on, no watch items live in the
+		// system store and no watch function is ever invoked.
+		node := d.FanoutFor(d.Cfg.Profile.Home)
+		if st := node.Stats(); st.Deliveries != 1 || st.Publishes == 0 {
+			t.Fatalf("node stats = %+v", st)
+		}
+	})
+}
+
+func TestFanoutPersistentWatchFiresRepeatedly(t *testing.T) {
+	run(t, 22, fanoutCfg(), func(k *sim.Kernel, d *core.Deployment) {
+		c := mustConnect(t, d, "s1")
+		w := mustConnect(t, d, "s2")
+		if _, err := c.Create("/cfg", []byte("v0"), 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		var fires []core.Notification
+		if _, err := w.AddWatch("/cfg", WatchOptions{}, func(n core.Notification) {
+			fires = append(fires, n)
+		}); err != nil {
+			t.Fatalf("addwatch: %v", err)
+		}
+		for i := 1; i <= 3; i++ {
+			if _, err := c.SetData("/cfg", []byte(fmt.Sprintf("v%d", i)), -1); err != nil {
+				t.Fatalf("set %d: %v", i, err)
+			}
+			k.Sleep(sim.Ms(500)) // spaced writes: immediate policy default
+		}
+		k.Sleep(sim.Ms(2000))
+		if len(fires) != 3 {
+			t.Fatalf("persistent fires = %d (%+v), want 3", len(fires), fires)
+		}
+		for i := 1; i < len(fires); i++ {
+			if fires[i].Txid <= fires[i-1].Txid {
+				t.Fatalf("fires out of order: %+v", fires)
+			}
+		}
+	})
+}
+
+func TestFanoutCoalescingKeepsTerminalEventAndZ4(t *testing.T) {
+	cfg := fanoutCfg()
+	cfg.FanoutDebounce = 2 * time.Second // wider than a write round trip
+	run(t, 23, cfg, func(k *sim.Kernel, d *core.Deployment) {
+		c := mustConnect(t, d, "s1")
+		w := mustConnect(t, d, "s2")
+		if _, err := c.Create("/cfg", []byte("v0"), 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		var fires []core.Notification
+		if _, err := w.AddWatch("/cfg", WatchOptions{Policy: watchfanout.PolicyCoalesce}, func(n core.Notification) {
+			fires = append(fires, n)
+		}); err != nil {
+			t.Fatalf("addwatch: %v", err)
+		}
+		// A burst of writes back to back: coalescing must suppress
+		// intermediates but never the terminal event.
+		var lastStat int64
+		for i := 1; i <= 8; i++ {
+			st, err := c.SetData("/cfg", []byte(fmt.Sprintf("v%d", i)), -1)
+			if err != nil {
+				t.Fatalf("set %d: %v", i, err)
+			}
+			lastStat = st.Mzxid
+		}
+		// Z4 under coalescing: the watcher reads the path — the gate must
+		// hold until a covering notification (txid >= the version read)
+		// has been delivered, kicking the open debounce slot if needed.
+		data, stat, err := w.GetData("/cfg")
+		if err != nil {
+			t.Fatalf("watcher read: %v", err)
+		}
+		// The gate kicked the open debounce slot: the covering
+		// notification landed at the client before the read returned.
+		// The user callback runs on the callback worker at the same
+		// virtual instant — yield once so it drains before asserting.
+		k.Sleep(sim.Ms(1))
+		covered := int64(0)
+		for _, f := range fires {
+			if f.Txid > covered {
+				covered = f.Txid
+			}
+		}
+		if stat.Mzxid > covered {
+			t.Fatalf("Z4: read v=%d (%q) but delivered watermark is %d", stat.Mzxid, data, covered)
+		}
+		if st := d.FanoutFor(d.Cfg.Profile.Home).Stats(); st.Kicks == 0 {
+			t.Fatalf("read did not kick the open slot: %+v", st)
+		}
+		k.Sleep(sim.Ms(3000))
+		if len(fires) == 0 || len(fires) >= 8 {
+			t.Fatalf("coalescing fires = %d, want 0 < n < 8", len(fires))
+		}
+		terminal := fires[len(fires)-1].Txid
+		for _, f := range fires {
+			if f.Txid > terminal {
+				terminal = f.Txid
+			}
+		}
+		if terminal != lastStat {
+			t.Fatalf("terminal fire txid %d != last write %d (lost terminal event)", terminal, lastStat)
+		}
+		if st := d.FanoutFor(d.Cfg.Profile.Home).Stats(); st.Suppressed == 0 {
+			t.Fatalf("no suppression under burst: %+v", st)
+		}
+	})
+}
+
+func TestFanoutRecursiveWatchCoversSubtree(t *testing.T) {
+	run(t, 24, fanoutCfg(), func(k *sim.Kernel, d *core.Deployment) {
+		c := mustConnect(t, d, "s1")
+		w := mustConnect(t, d, "s2")
+		if _, err := c.Create("/app", nil, 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		var fires []core.Notification
+		if _, err := w.AddWatch("/app", WatchOptions{Recursive: true}, func(n core.Notification) {
+			fires = append(fires, n)
+		}); err != nil {
+			t.Fatalf("addwatch: %v", err)
+		}
+		if _, err := c.Create("/app/svc", []byte("x"), 0); err != nil {
+			t.Fatalf("create child: %v", err)
+		}
+		if _, err := c.SetData("/app/svc", []byte("y"), -1); err != nil {
+			t.Fatalf("set child: %v", err)
+		}
+		if _, err := c.Create("/elsewhere", nil, 0); err != nil {
+			t.Fatalf("create other: %v", err)
+		}
+		k.Sleep(sim.Ms(2000))
+		if len(fires) != 2 {
+			t.Fatalf("recursive fires = %+v, want create+set of /app/svc", fires)
+		}
+		if fires[0].Event != core.EventCreated || fires[0].Path != "/app/svc" {
+			t.Fatalf("first fire = %+v", fires[0])
+		}
+		if fires[1].Event != core.EventDataChanged || fires[1].Path != "/app/svc" {
+			t.Fatalf("second fire = %+v", fires[1])
+		}
+	})
+}
+
+func TestFanoutPersistentWatchRequiresTier(t *testing.T) {
+	run(t, 25, core.Config{}, func(k *sim.Kernel, d *core.Deployment) {
+		c := mustConnect(t, d, "s1")
+		if _, err := c.AddWatch("/x", WatchOptions{}, nil); err != core.ErrFanoutOff {
+			t.Fatalf("addwatch without tier: err = %v, want ErrFanoutOff", err)
+		}
+	})
+}
+
+func TestFanoutWatchSetWarmupSeedsClientCache(t *testing.T) {
+	cfg := fanoutCfg()
+	cfg.CacheMode = core.CacheTwoLevel
+	run(t, 26, cfg, func(k *sim.Kernel, d *core.Deployment) {
+		c := mustConnect(t, d, "s1")
+		if _, err := c.Create("/cfg", nil, 0); err != nil {
+			t.Fatalf("create parent: %v", err)
+		}
+		if _, err := c.Create("/cfg/app", []byte("v1"), 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		// First session: arm a persistent watch (making the path part of
+		// the durable watch set) and read it through the cache tier so
+		// the regional node holds the entry.
+		w := mustConnect(t, d, "w1")
+		if _, err := w.AddWatch("/cfg/app", WatchOptions{}, nil); err != nil {
+			t.Fatalf("addwatch: %v", err)
+		}
+		if _, _, err := w.GetData("/cfg/app"); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if _, _, err := w.GetData("/cfg/app"); err != nil {
+			t.Fatalf("read2: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		// Same session id reconnects: its watch set must warm the client
+		// cache, so the first read is a local (L1) hit.
+		w2 := mustConnect(t, d, "w1")
+		h0, _, m0 := w2.CacheStats()
+		if _, _, err := w2.GetData("/cfg/app"); err != nil {
+			t.Fatalf("read after reconnect: %v", err)
+		}
+		h1, _, m1 := w2.CacheStats()
+		if h1 != h0+1 || m1 != m0 {
+			t.Fatalf("warmed read: l1 hits %d->%d misses %d->%d, want an L1 hit", h0, h1, m0, m1)
+		}
+		if set := d.SessionWatchSet(w2.ctx, "w1"); len(set) != 1 || set[0] != "/cfg/app" {
+			t.Fatalf("durable watch set = %v", set)
+		}
+	})
+}

@@ -366,9 +366,10 @@ const (
 	SpanFollowerCommit = "follower.commit" // system-store commit, concurrent with queue.leader
 	SpanStoreWrite     = "store.write"     // one region's user-store write
 	SpanCacheInval     = "cache.invalidate"
-	SpanWatchDeliver   = "watch.deliver" // watch function invocation + delivery
-	SpanTxnVote        = "txn.vote"      // one shard's intent conversion + vote
-	SpanTxnShard       = "txn.shard"     // one shard leader's commit leg
+	SpanWatchDeliver   = "watch.deliver"  // watch function invocation + delivery
+	SpanFanoutPublish  = "fanout.publish" // one-record notification to the fan-out nodes
+	SpanTxnVote        = "txn.vote"       // one shard's intent conversion + vote
+	SpanTxnShard       = "txn.shard"      // one shard leader's commit leg
 
 	SpanCostBreach = "cost.breach" // budget monitor burn-rate breach (instant)
 )

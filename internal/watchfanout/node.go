@@ -1,0 +1,661 @@
+// Package watchfanout implements the hierarchical watch fan-out tier:
+// instead of the leader enumerating every watching session inside the
+// write hot path (O(watchers) per fired watch), the leader publishes ONE
+// notification record per (path, txid) to each regional fan-out node and
+// the node owns the per-session delivery. The node keeps the watch
+// registrations (one-shot, ZooKeeper 3.6-style persistent, and persistent
+// recursive), applies per-watch debounce/coalesce policies (latest-wins
+// under a burst; opt-in confd-style interval batching), and reports epoch
+// membership back to the leader tier so the client-side Z4 read gate —
+// "a session must observe its own watch notification before a read that
+// reflects the triggering write" — keeps working: a watch id stays on the
+// shard epoch list from the moment its first undelivered firing is
+// published until its last in-flight firing is delivered or coalesced
+// into a newer one.
+//
+// Delivery is two-phase to preserve notification-before-readability:
+//
+//	Publish(change)  — before the user-store write lands. The node
+//	                   matches registrations, parks the resulting
+//	                   firings under the txid, and returns the watch
+//	                   ids that just became in-flight so the leader can
+//	                   stamp them onto the shard epoch list.
+//	Release(txid)    — after the write is distributed. The parked
+//	                   firings become deliverable: immediate-policy
+//	                   firings go straight to the per-watch delivery
+//	                   worker, coalescing ones enter a debounce slot.
+//
+// A firing suppressed by latest-wins coalescing is only ever replaced by
+// a firing with a strictly larger txid, so the invariant "suppressed
+// txid <= delivered txid" holds by construction (no lost terminal
+// events). Cross-shard txids are not totally ordered; an out-of-order
+// firing is delivered separately rather than clobbering a newer one.
+//
+// Like the regional cache, the node runs on the cooperative virtual-time
+// kernel: exactly one goroutine is ever runnable, so the maps below need
+// no locks.
+package watchfanout
+
+import (
+	"strings"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/obs"
+	"faaskeeper/internal/sim"
+)
+
+// Kind is the watch registration kind. The numeric values deliberately
+// mirror core.WatchType so conversion is a cast.
+type Kind uint8
+
+const (
+	KindData                Kind = 1 // one-shot getData watch
+	KindExists              Kind = 2 // one-shot exists watch
+	KindChild               Kind = 3 // one-shot getChildren watch
+	KindPersistent          Kind = 4 // persistent: data + child events, no re-arm
+	KindPersistentRecursive Kind = 5 // persistent on a whole subtree
+)
+
+// OneShot reports whether the kind is consumed by its first fire.
+func (k Kind) OneShot() bool { return k <= KindChild }
+
+// Event mirrors core.EventType (same numeric values).
+type Event uint8
+
+const (
+	EventDataChanged     Event = 1
+	EventCreated         Event = 2
+	EventDeleted         Event = 3
+	EventChildrenChanged Event = 4
+)
+
+// Policy selects how the node paces deliveries for one registration.
+type Policy uint8
+
+const (
+	// PolicyImmediate delivers every firing as soon as it is released —
+	// the one-shot default and the strongest ordering (one delivery per
+	// triggering write).
+	PolicyImmediate Policy = 0
+	// PolicyCoalesce holds a released firing for the node's debounce
+	// window; a newer firing for the same watch replaces it (latest
+	// wins). The persistent-watch default: a config burst costs one
+	// delivery.
+	PolicyCoalesce Policy = 1
+	// PolicyInterval is the confd pattern: deliveries for the watch are
+	// batched on the registration's own interval regardless of burst
+	// shape.
+	PolicyInterval Policy = 2
+)
+
+// Op is the znode mutation class carried by a notification record.
+type Op uint8
+
+const (
+	OpSet    Op = 1
+	OpCreate Op = 2
+	OpDelete Op = 3
+)
+
+// Change is the leader-side publication: one record per (path, txid),
+// independent of how many sessions watch the path.
+type Change struct {
+	Op     Op
+	Path   string
+	Parent string // parent path, for child-watch matching
+	Txid   int64
+	Shard  int
+}
+
+// Registration subscribes one session to a path (or subtree, for
+// KindPersistentRecursive). The watch id is computed by the caller
+// (core.WatchID) so client and node agree without the node hashing.
+type Registration struct {
+	Session  string
+	Path     string
+	Kind     Kind
+	Policy   Policy
+	Interval sim.Time // PolicyInterval batching window
+	WID      int64
+}
+
+// DeliverFunc pushes one notification to one session. Installed by the
+// deployment (it closes over Deployment.notify).
+type DeliverFunc func(session string, wid int64, event Event, path string, txid int64)
+
+// EpochExitFunc removes a watch id from the shard's epoch list once its
+// last in-flight firing has been delivered or coalesced away. Installed
+// by the deployment (it closes over the system store for this region).
+type EpochExitFunc func(shard int, wid int64)
+
+// Stats is a point-in-time snapshot of node counters.
+type Stats struct {
+	Sessions    int64 // live real registrations across all groups
+	Synthetic   int64 // synthetic (bulk-registered) subscribers
+	Groups      int64
+	Publishes   int64 // leader notification records received
+	Matches     int64 // group fires across all publishes
+	Releases    int64 // txids released with at least one parked firing
+	Batches     int64 // delivery batches pushed (one per flushed firing)
+	Deliveries  int64 // per-session deliveries, real + synthetic
+	Suppressed  int64 // firings coalesced away by latest-wins
+	Kicks       int64 // client gate kicks
+	EpochEnters int64 // watch ids stamped onto a shard epoch list
+	EpochExits  int64 // watch ids retired from a shard epoch list
+	Losses      int64 // node wipes (fault injection)
+}
+
+// Publish exports the snapshot as fanout-component gauges.
+func (s Stats) Publish(reg *obs.Registry, region string) {
+	g := func(name string, v int64) {
+		reg.SetGauge(obs.Key{Component: "fanout", Name: name, Region: region}, v)
+	}
+	g("sessions", s.Sessions)
+	g("synthetic", s.Synthetic)
+	g("groups", s.Groups)
+	g("publishes", s.Publishes)
+	g("matches", s.Matches)
+	g("releases", s.Releases)
+	g("batches", s.Batches)
+	g("deliveries", s.Deliveries)
+	g("suppressed", s.Suppressed)
+	g("kicks", s.Kicks)
+	g("epoch_enters", s.EpochEnters)
+	g("epoch_exits", s.EpochExits)
+}
+
+type groupKey struct {
+	path string
+	kind Kind
+}
+
+// sub is one real session's registration options within a group.
+type sub struct {
+	policy   Policy
+	interval sim.Time
+}
+
+// synthBlock models a population of identical subscribers without
+// materializing sessions — the 1M-watcher experiments register counts,
+// and the node bills and counts their deliveries without sending them.
+type synthBlock struct {
+	policy   Policy
+	interval sim.Time
+	count    int
+}
+
+type group struct {
+	wid   int64
+	kind  Kind
+	path  string
+	subs  map[string]sub
+	synth []synthBlock
+}
+
+// firing is one (watch group, policy class) slice of a published change:
+// the group's subscribers that share a delivery policy, parked under the
+// txid until Release.
+type firing struct {
+	wid      int64
+	event    Event
+	path     string // concrete changed path (differs from the group path for recursive)
+	txid     int64
+	shard    int
+	policy   Policy
+	interval sim.Time
+	sessions []string
+	synth    int
+	urgent   bool // a gate kick asked for this txid: skip debounce
+}
+
+type inflightKey struct {
+	wid   int64
+	shard int
+}
+
+type slotKey struct {
+	wid      int64
+	policy   Policy
+	interval sim.Time
+}
+
+// slot is one open coalescing window: latest-wins buffer plus a kick
+// future that forces an early flush.
+type slot struct {
+	latest *firing
+	kick   *sim.Future[struct{}]
+}
+
+// Node is one region's fan-out tier, colocated with the regional cache
+// node (same provisioned VM class, so per-operation traffic is free and
+// the VM accrues by the hour when cost accounting is on).
+type Node struct {
+	env    *cloud.Env
+	region cloud.Region
+	ctx    cloud.Ctx // node's own identity for charges from delivery workers
+
+	deliver   DeliverFunc
+	epochExit EpochExitFunc
+	debounce  sim.Time // PolicyCoalesce window
+
+	groups   map[groupKey]*group
+	recRoots map[string]struct{} // subtree roots with a recursive group
+	pending  map[int64][]*firing // published, awaiting Release, keyed by txid
+	inflight map[inflightKey]int // undelivered firing refcount per (wid, shard)
+	slots    map[slotKey]*slot
+	queues   map[int64]*sim.Queue[*firing] // per-wid serialized delivery
+	water    map[int64]int64               // max delivered txid per wid
+
+	vmAccrual    bool
+	vmLastBilled sim.Time
+	stats        Stats
+}
+
+// New creates a fan-out node for one region. deliver and epochExit are
+// installed by the deployment; debounce is the PolicyCoalesce window.
+func New(env *cloud.Env, region cloud.Region, deliver DeliverFunc, epochExit EpochExitFunc, debounce sim.Time) *Node {
+	return &Node{
+		env:       env,
+		region:    region,
+		ctx:       cloud.ClientCtx(region),
+		deliver:   deliver,
+		epochExit: epochExit,
+		debounce:  debounce,
+		groups:    map[groupKey]*group{},
+		recRoots:  map[string]struct{}{},
+		pending:   map[int64][]*firing{},
+		inflight:  map[inflightKey]int{},
+		slots:     map[slotKey]*slot{},
+		queues:    map[int64]*sim.Queue[*firing]{},
+		water:     map[int64]int64{},
+	}
+}
+
+// EnableVMAccrual starts amortizing the node VM's hourly price over the
+// operations it serves (mirrors cache.Regional).
+func (n *Node) EnableVMAccrual() {
+	n.vmAccrual = true
+	n.vmLastBilled = n.env.K.Now()
+}
+
+// SetBillCtx replaces the context delivery workers charge under (the
+// deployment passes its system-billing context so node-side costs land in
+// the ledger like every other system component).
+func (n *Node) SetBillCtx(ctx cloud.Ctx) { n.ctx = ctx }
+
+func (n *Node) chargeOp(ctx cloud.Ctx, category string, ops int64) {
+	n.env.Charge(ctx, category, 0, ops)
+	if !n.vmAccrual {
+		return
+	}
+	now := n.env.K.Now()
+	if elapsed := now - n.vmLastBilled; elapsed > 0 {
+		n.vmLastBilled = now
+		usd := n.env.Profile.Pricing.CacheVMHourly * elapsed.Hours()
+		n.env.Charge(ctx, "fanout.vm", usd, 1)
+	}
+}
+
+func (n *Node) lat(ctx cloud.Ctx, base sim.Dist, perKB sim.Time, size int) {
+	n.env.K.Sleep(n.env.OpTime(ctx, base, perKB, size))
+}
+
+// Register subscribes a session. Costs one small memory write on the
+// node (the registration record).
+func (n *Node) Register(ctx cloud.Ctx, r Registration) {
+	p := n.env.Profile
+	n.lat(ctx, p.MemWriteBase, p.MemWritePerKB, regSize(RegistrationRecord{
+		Session: r.Session, Path: r.Path, Kind: byte(r.Kind),
+		Policy: byte(r.Policy), IntervalUS: int64(r.Interval), WID: r.WID,
+	}))
+	n.chargeOp(ctx, "fanout.register", 1)
+	g := n.groupFor(r.Path, r.Kind, r.WID)
+	if _, dup := g.subs[r.Session]; !dup {
+		n.stats.Sessions++
+	}
+	g.subs[r.Session] = sub{policy: r.Policy, interval: r.Interval}
+}
+
+// BulkRegister adds count synthetic subscribers to a group — free of
+// latency and charges, it seeds the large-scale experiments.
+func (n *Node) BulkRegister(path string, kind Kind, policy Policy, interval sim.Time, wid int64, count int) {
+	g := n.groupFor(path, kind, wid)
+	g.synth = append(g.synth, synthBlock{policy: policy, interval: interval, count: count})
+	n.stats.Synthetic += int64(count)
+}
+
+func (n *Node) groupFor(path string, kind Kind, wid int64) *group {
+	k := groupKey{path: path, kind: kind}
+	g, ok := n.groups[k]
+	if !ok {
+		g = &group{wid: wid, kind: kind, path: path, subs: map[string]sub{}}
+		n.groups[k] = g
+		n.stats.Groups++
+		if kind == KindPersistentRecursive {
+			n.recRoots[path] = struct{}{}
+		}
+	}
+	return g
+}
+
+// Publish receives the leader's one-record notification for a committed
+// change, before the user-store write lands. It parks the matched
+// firings under the txid and returns the watch ids that transitioned to
+// in-flight on this shard — the leader appends exactly those to the
+// shard epoch list so the client Z4 gate can see them in value stamps.
+func (n *Node) Publish(ctx cloud.Ctx, ch Change) []int64 {
+	p := n.env.Profile
+	n.lat(ctx, p.MemWriteBase, p.MemWritePerKB, notifSize(NotificationRecord{
+		Path: ch.Path, Parent: ch.Parent, Op: byte(ch.Op), Txid: ch.Txid, Shard: int64(ch.Shard),
+	}))
+	n.chargeOp(ctx, "fanout.publish", 1)
+	n.stats.Publishes++
+
+	var fs []*firing
+	for _, m := range n.match(ch) {
+		fs = append(fs, n.fireGroup(m.g, m.event, ch)...)
+	}
+	if len(fs) == 0 {
+		return nil
+	}
+	n.pending[ch.Txid] = append(n.pending[ch.Txid], fs...)
+	var newWids []int64
+	for _, f := range fs {
+		k := inflightKey{wid: f.wid, shard: f.shard}
+		if n.inflight[k] == 0 {
+			newWids = append(newWids, f.wid)
+			n.stats.EpochEnters++
+		}
+		n.inflight[k]++
+	}
+	return newWids
+}
+
+type matched struct {
+	g     *group
+	event Event
+}
+
+// match mirrors the leader's legacy queryWatches pairing of mutation
+// class to watch attribute, extended with the persistent kinds:
+//
+//	set    -> data@path, persistent@path (DataChanged), recursive
+//	create -> exists@path (Created), child@parent (ChildrenChanged),
+//	          persistent@path (Created), persistent@parent
+//	          (ChildrenChanged), recursive (Created)
+//	delete -> data+exists@path (Deleted), child@parent, persistent@path
+//	          (Deleted), persistent@parent (ChildrenChanged), recursive
+//
+// Recursive groups match every registration root that is an ancestor of
+// (or equal to) the changed path and deliver the concrete event at the
+// concrete path; like ZooKeeper's PERSISTENT_RECURSIVE mode they do not
+// deliver ChildrenChanged.
+func (n *Node) match(ch Change) []matched {
+	var out []matched
+	add := func(path string, kind Kind, ev Event) {
+		if g, ok := n.groups[groupKey{path: path, kind: kind}]; ok {
+			out = append(out, matched{g: g, event: ev})
+		}
+	}
+	switch ch.Op {
+	case OpSet:
+		add(ch.Path, KindData, EventDataChanged)
+		add(ch.Path, KindPersistent, EventDataChanged)
+	case OpCreate:
+		add(ch.Path, KindExists, EventCreated)
+		add(ch.Parent, KindChild, EventChildrenChanged)
+		add(ch.Path, KindPersistent, EventCreated)
+		add(ch.Parent, KindPersistent, EventChildrenChanged)
+	case OpDelete:
+		add(ch.Path, KindData, EventDeleted)
+		add(ch.Path, KindExists, EventDeleted)
+		add(ch.Parent, KindChild, EventChildrenChanged)
+		add(ch.Path, KindPersistent, EventDeleted)
+		add(ch.Parent, KindPersistent, EventChildrenChanged)
+	}
+	if len(n.recRoots) > 0 {
+		ev := EventDataChanged
+		switch ch.Op {
+		case OpCreate:
+			ev = EventCreated
+		case OpDelete:
+			ev = EventDeleted
+		}
+		for root := range ancestors(ch.Path) {
+			if _, ok := n.recRoots[root]; ok {
+				add(root, KindPersistentRecursive, ev)
+			}
+		}
+	}
+	return out
+}
+
+// ancestors yields path and every proper ancestor down to "/".
+func ancestors(path string) map[string]struct{} {
+	out := map[string]struct{}{path: {}}
+	for p := path; p != "/" && p != ""; {
+		i := strings.LastIndexByte(p, '/')
+		if i <= 0 {
+			out["/"] = struct{}{}
+			break
+		}
+		p = p[:i]
+		out[p] = struct{}{}
+	}
+	return out
+}
+
+// fireGroup slices one matched group into per-policy firings. One-shot
+// groups are claimed here (publish time), exactly like the legacy
+// leader's conditional watch-item removal: later writes in the same
+// batch do not fire them again.
+func (n *Node) fireGroup(g *group, ev Event, ch Change) []*firing {
+	n.stats.Matches++
+	byClass := map[slotKey]*firing{}
+	classOf := func(policy Policy, interval sim.Time) *firing {
+		k := slotKey{wid: g.wid, policy: policy, interval: interval}
+		f, ok := byClass[k]
+		if !ok {
+			f = &firing{
+				wid: g.wid, event: ev, path: ch.Path, txid: ch.Txid,
+				shard: ch.Shard, policy: policy, interval: interval,
+			}
+			byClass[k] = f
+		}
+		return f
+	}
+	for s, o := range g.subs {
+		f := classOf(o.policy, o.interval)
+		f.sessions = append(f.sessions, s)
+	}
+	for _, b := range g.synth {
+		classOf(b.policy, b.interval).synth += b.count
+	}
+	if g.kind.OneShot() {
+		delete(n.groups, groupKey{path: g.path, kind: g.kind})
+		n.stats.Groups--
+		n.stats.Sessions -= int64(len(g.subs))
+		for _, b := range g.synth {
+			n.stats.Synthetic -= int64(b.count)
+		}
+	}
+	out := make([]*firing, 0, len(byClass))
+	for _, f := range byClass {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Release makes the firings parked under txid deliverable — the leader
+// calls it once the change is distributed to the user stores, so no
+// session can be notified of a write it cannot yet read. Free when the
+// publish matched nothing.
+func (n *Node) Release(ctx cloud.Ctx, txid int64) {
+	fs := n.pending[txid]
+	if len(fs) == 0 {
+		return
+	}
+	delete(n.pending, txid)
+	p := n.env.Profile
+	n.lat(ctx, p.MemWriteBase, 0, 0)
+	n.chargeOp(ctx, "fanout.release", 1)
+	n.stats.Releases++
+	for _, f := range fs {
+		n.route(f)
+	}
+}
+
+func (n *Node) route(f *firing) {
+	if f.policy == PolicyImmediate || f.urgent {
+		n.enqueue(f)
+		return
+	}
+	k := slotKey{wid: f.wid, policy: f.policy, interval: f.interval}
+	if s, ok := n.slots[k]; ok {
+		if f.txid > s.latest.txid {
+			n.suppress(s.latest)
+			s.latest = f
+		} else {
+			// Cross-shard txids are not totally ordered: an
+			// out-of-order firing may not clobber a newer one, and
+			// coalescing it away would break "suppressed <=
+			// delivered". Deliver it on its own.
+			n.enqueue(f)
+		}
+		return
+	}
+	window := n.debounce
+	if f.policy == PolicyInterval {
+		window = f.interval
+	}
+	s := &slot{latest: f, kick: sim.NewFuture[struct{}](n.env.K)}
+	n.slots[k] = s
+	n.env.K.Go("fanout-coalesce", func() {
+		s.kick.WaitTimeout(window)
+		// A Lose() may have wiped the slot table while we slept; only
+		// flush if this slot is still the live one.
+		if n.slots[k] == s {
+			delete(n.slots, k)
+			n.enqueue(s.latest)
+		}
+	})
+}
+
+// suppress retires a firing coalesced away by a strictly newer one. Its
+// epoch refcount is handed to the covering firing's eventual delivery:
+// the wid stays on the epoch list until that delivery, so the Z4 gate
+// still blocks reads of the suppressed write until the covering
+// notification (with a larger txid) arrives.
+func (n *Node) suppress(f *firing) {
+	n.stats.Suppressed++
+	n.finish(f)
+}
+
+// enqueue hands a firing to the watch's serialized delivery worker.
+// One worker per wid keeps per-(session, watch) delivery in release
+// order — goroutine-per-session would allow txid inversions.
+func (n *Node) enqueue(f *firing) {
+	q, ok := n.queues[f.wid]
+	if !ok {
+		q = sim.NewQueue[*firing](n.env.K)
+		n.queues[f.wid] = q
+		n.env.K.Go("fanout-deliver", func() {
+			for {
+				f, ok := q.Pop()
+				if !ok {
+					return
+				}
+				n.deliverFiring(f)
+			}
+		})
+	}
+	q.Push(f)
+}
+
+func (n *Node) deliverFiring(f *firing) {
+	total := int64(len(f.sessions) + f.synth)
+	n.stats.Batches++
+	n.stats.Deliveries += total
+	n.chargeOp(n.ctx, "fanout.push", total)
+	// Sessions are pushed in parallel from the node; one client RTT
+	// covers the batch (synthetic subscribers are billed above but not
+	// sent anywhere).
+	n.env.K.Sleep(n.env.Profile.ClientRTT.Sample(n.env.K.Rand()))
+	for _, s := range f.sessions {
+		n.deliver(s, f.wid, f.event, f.path, f.txid)
+	}
+	if f.txid > n.water[f.wid] {
+		n.water[f.wid] = f.txid
+	}
+	n.finish(f)
+}
+
+// finish drops one in-flight refcount for (wid, shard); on the last one
+// the wid leaves the shard epoch list.
+func (n *Node) finish(f *firing) {
+	k := inflightKey{wid: f.wid, shard: f.shard}
+	if c := n.inflight[k]; c > 1 {
+		n.inflight[k] = c - 1
+		return
+	}
+	delete(n.inflight, k)
+	n.stats.EpochExits++
+	if n.epochExit != nil {
+		n.epochExit(f.shard, f.wid)
+	}
+}
+
+// Kick is the client Z4 gate's escape hatch: a reader blocked on wid
+// asks the node to flush any open coalescing window for it and to mark
+// still-parked (unreleased) firings urgent, then re-checks the returned
+// delivery watermark. Costs one node memory read.
+func (n *Node) Kick(ctx cloud.Ctx, wid int64) int64 {
+	p := n.env.Profile
+	n.lat(ctx, p.MemReadBase, 0, 0)
+	n.chargeOp(ctx, "fanout.kick", 1)
+	n.stats.Kicks++
+	for k, s := range n.slots {
+		if k.wid == wid {
+			s.kick.TryComplete(struct{}{})
+		}
+	}
+	for _, fs := range n.pending {
+		for _, f := range fs {
+			if f.wid == wid {
+				f.urgent = true
+			}
+		}
+	}
+	return n.water[wid]
+}
+
+// Watermark returns the max delivered txid for wid without cost (tests).
+func (n *Node) Watermark(wid int64) int64 { return n.water[wid] }
+
+// Lose wipes the node (fault injection): registrations, parked firings,
+// and open slots are gone; sessions must re-arm, exactly like a regional
+// cache loss. Epoch entries for in-flight firings are flushed so client
+// read gates do not hang on notifications that can never arrive.
+func (n *Node) Lose() {
+	n.stats.Losses++
+	for k := range n.inflight {
+		n.stats.EpochExits++
+		if n.epochExit != nil {
+			n.epochExit(k.shard, k.wid)
+		}
+	}
+	n.groups = map[groupKey]*group{}
+	n.recRoots = map[string]struct{}{}
+	n.pending = map[int64][]*firing{}
+	n.inflight = map[inflightKey]int{}
+	n.slots = map[slotKey]*slot{}
+	n.stats.Sessions = 0
+	n.stats.Synthetic = 0
+	n.stats.Groups = 0
+}
+
+// Stats returns a snapshot of the node counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Region returns the node's region.
+func (n *Node) Region() cloud.Region { return n.region }

